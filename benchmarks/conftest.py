@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs its experiment exactly once (pedantic mode): the
+simulator is deterministic, so repeated rounds measure nothing but
+Python's own wall-time jitter, and the heavy experiments replay hundreds
+of megabytes of simulated traffic.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,22 @@
+"""Ablation — P3's WAL chunk size (§4.3.3 design choice).
+
+P3 packs provenance into 8 KB messages because that is SQS's limit; the
+sweep shows why hitting the limit matters: smaller chunks mean
+proportionally more round trips.
+"""
+
+from repro.bench.experiments import ablation_chunk_size
+
+
+def test_ablation_chunk_size(once, benchmark):
+    result = once(benchmark, ablation_chunk_size)
+    print("\n" + result.render())
+
+    points = {chunk: (seconds, count) for chunk, seconds, count in result.points}
+    # Bigger chunks are strictly fewer messages and no slower.
+    sizes = sorted(points)
+    for small, large in zip(sizes, sizes[1:]):
+        assert points[large][1] < points[small][1]
+        assert points[large][0] <= points[small][0] * 1.05
+    # Full-size (8 KB) chunks beat 1 KB chunks by a wide margin.
+    assert points[8192][0] * 3 < points[1024][0]

@@ -1,0 +1,31 @@
+"""Figure 3 — the Blast upload-only microbenchmark on EC2 and UML.
+
+Paper: the overheads over plain S3fs are 32.6 % (P3, the lowest) to
+78.9 % (P2, the highest), with P1 dominating (beating) P2; the UML run
+preserves the relative pattern.
+"""
+
+from repro.bench.experiments import fig3_microbenchmark
+
+
+def test_fig3_microbenchmark(once, benchmark):
+    result = once(benchmark, fig3_microbenchmark)
+    print("\n" + result.render())
+
+    for env_name, per_config in result.results.items():
+        base = per_config["s3fs"]
+        p1 = per_config["p1"].overhead_vs(base)
+        p2 = per_config["p2"].overhead_vs(base)
+        p3 = per_config["p3"].overhead_vs(base)
+        # P3 is the cheapest protocol; P1 dominates P2; P2 is the worst.
+        assert p3 < p1 < p2, (env_name, p1, p2, p3)
+        # Overheads are material but bounded (paper: ~33 % to ~79 %).
+        assert 0.05 < p3 < 0.60, env_name
+        assert 0.30 < p2 < 1.20, env_name
+        # All protocols transmit barely more than the baseline (Table 3's
+        # <1 % data overhead).
+        for config in ("p1", "p2", "p3"):
+            extra = (
+                per_config[config].bytes_transmitted / base.bytes_transmitted - 1.0
+            )
+            assert extra < 0.02, (env_name, config, extra)

@@ -1,0 +1,24 @@
+"""Table 3 — data-transfer and operation-count overheads.
+
+Paper: data overheads are negligible (< 0.5 %) while operation overheads
+are large (100-270 %), because every protocol at least doubles its work
+writing provenance alongside data; P1 issues the most requests.
+"""
+
+from repro.bench.experiments import table3_overheads
+
+
+def test_table3_overheads(once, benchmark):
+    result = once(benchmark, table3_overheads)
+    print("\n" + result.render())
+
+    base = result.results["s3fs"]
+    for config in ("p1", "p2", "p3"):
+        r = result.results[config]
+        data_overhead = r.bytes_transmitted / base.bytes_transmitted - 1.0
+        ops_overhead = r.operations / base.operations - 1.0
+        # Data overhead stays tiny; operation overhead is large.
+        assert data_overhead < 0.02, (config, data_overhead)
+        assert ops_overhead > 0.5, (config, ops_overhead)
+    # P1 (per-object appends) issues the most requests of the three.
+    assert result.results["p1"].operations >= result.results["p3"].operations

@@ -1,0 +1,24 @@
+"""Table 4 — the USD bill per benchmark per protocol.
+
+Paper: provenance adds almost nothing to the bill; the ordering is
+P3 > P1 >= P2 >= S3fs, and the nightly backup (3 GB of tarballs) costs
+the most, Challenge the least.
+"""
+
+from repro.bench.experiments import table4_cost
+
+
+def test_table4_cost(once, benchmark):
+    result = once(benchmark, table4_cost)
+    print("\n" + result.render())
+
+    for workload, per_config in result.costs.items():
+        # P3 is the most expensive configuration (SQS log + SimpleDB).
+        assert per_config["p3"] >= per_config["s3fs"], workload
+        assert per_config["p3"] >= per_config["p2"] - 1e-6, workload
+        # Provenance never doubles the bill.
+        assert per_config["p3"] < per_config["s3fs"] * 1.5 + 0.05, workload
+
+    # Workload ordering: nightly most expensive, challenge cheapest.
+    assert result.costs["nightly"]["s3fs"] > result.costs["blast"]["s3fs"]
+    assert result.costs["blast"]["s3fs"] > result.costs["challenge"]["s3fs"]

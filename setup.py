@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` via pyproject.toml alone) fail
+with ``invalid command 'bdist_wheel'``.  This shim lets the legacy
+``setup.py develop`` path work: ``pip install -e . --no-use-pep517
+--no-build-isolation``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Benchmark harness.
+
+One function per paper table/figure lives in
+:mod:`repro.bench.experiments`; :mod:`repro.bench.harness` provides
+repeat-and-aggregate plumbing and :mod:`repro.bench.reporting` renders
+the paper-shaped text tables.  The ``benchmarks/`` directory wires these
+into pytest-benchmark.
+"""
+
+from repro.bench.harness import Aggregate, repeat_with_seeds
+from repro.bench.reporting import render_series, render_table
+
+__all__ = ["Aggregate", "render_series", "render_table", "repeat_with_seeds"]

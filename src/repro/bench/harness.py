@@ -1,0 +1,56 @@
+"""Repeat-and-aggregate plumbing.
+
+The simulator is deterministic for a fixed seed; the paper ran every
+workload at least five times and reported means with error bars.  We
+reproduce that by re-running experiments under different seeds (which
+perturbs eventual-consistency propagation delays and SQS ordering) and
+aggregating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Aggregate:
+    """Mean and spread of a repeated measurement."""
+
+    mean: float
+    stddev: float
+    samples: List[float]
+
+    @property
+    def error_bar(self) -> float:
+        """95 % confidence half-width (normal approximation)."""
+        if len(self.samples) < 2:
+            return 0.0
+        return 1.96 * self.stddev / math.sqrt(len(self.samples))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.error_bar:.1f}"
+
+
+def aggregate(samples: Sequence[float]) -> Aggregate:
+    """Aggregate raw samples."""
+    if not samples:
+        raise ValueError("cannot aggregate zero samples")
+    mean = sum(samples) / len(samples)
+    if len(samples) > 1:
+        variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+    else:
+        variance = 0.0
+    return Aggregate(mean=mean, stddev=math.sqrt(variance), samples=list(samples))
+
+
+def repeat_with_seeds(
+    run: Callable[[int], float], repeats: int = 3, base_seed: int = 0
+) -> Aggregate:
+    """Run ``run(seed)`` for ``repeats`` distinct seeds and aggregate."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return aggregate([run(base_seed + i * 101) for i in range(repeats)])

@@ -1,0 +1,40 @@
+"""Plain-text rendering of paper-shaped tables and bar-chart series."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "s",
+    width: int = 50,
+) -> str:
+    """Render one bar-chart series as ASCII bars (a figure stand-in)."""
+    peak = max(values) if values else 1.0
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(width * value / peak)) if peak > 0 else ""
+        lines.append(f"  {label:12s} {value:10.1f}{unit} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Simulated AWS substrate.
+
+This subpackage provides in-process stand-ins for the three cloud services
+the paper's protocols use:
+
+- :mod:`repro.cloud.s3` — an object store with S3 semantics,
+- :mod:`repro.cloud.simpledb` — a semi-structured database service,
+- :mod:`repro.cloud.sqs` — a distributed message queue,
+
+plus the machinery that makes their behaviour faithful to 2009-era AWS:
+
+- :mod:`repro.cloud.clock` — a virtual clock (all "time" in benchmarks is
+  simulated, so experiments run deterministically and fast),
+- :mod:`repro.cloud.profiles` — calibrated latency/throughput/parallelism
+  envelopes per service, environment, and measurement period,
+- :mod:`repro.cloud.consistency` — eventual consistency with configurable
+  propagation windows (and a strict mode for Azure-style services),
+- :mod:`repro.cloud.network` — a makespan scheduler for parallel request
+  batches under per-service connection caps,
+- :mod:`repro.cloud.billing` — the January-2010 AWS price book and usage
+  meters,
+- :mod:`repro.cloud.faults` — crash-point and message-fault injection,
+- :mod:`repro.cloud.account` — a bundle of all of the above.
+"""
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.billing import BillingMeter, PriceBook
+from repro.cloud.clock import VirtualClock
+from repro.cloud.consistency import ConsistencyModel
+from repro.cloud.faults import FaultPlan
+from repro.cloud.network import ParallelScheduler
+from repro.cloud.profiles import (
+    EnvironmentProfile,
+    PeriodProfile,
+    ServiceProfile,
+    SimulationProfile,
+)
+from repro.cloud.s3 import S3Service
+from repro.cloud.simpledb import SimpleDBService
+from repro.cloud.sqs import SQSService
+
+__all__ = [
+    "BillingMeter",
+    "CloudAccount",
+    "ConsistencyModel",
+    "EnvironmentProfile",
+    "FaultPlan",
+    "ParallelScheduler",
+    "PeriodProfile",
+    "PriceBook",
+    "S3Service",
+    "ServiceProfile",
+    "SimpleDBService",
+    "SimulationProfile",
+    "SQSService",
+    "VirtualClock",
+]

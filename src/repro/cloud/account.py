@@ -1,0 +1,105 @@
+"""The :class:`CloudAccount` bundle.
+
+One account is one experiment's cloud: a virtual clock, a scheduler tied
+to an environment profile, the three services with their calibrated
+(period-adjusted) profiles, a billing meter, and a fault plan.  Protocols
+and workloads receive an account and never construct services directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud.billing import BillingMeter, PriceBook
+from repro.cloud.clock import Stopwatch, VirtualClock
+from repro.cloud.consistency import (
+    ConsistencyEngine,
+    ConsistencyModel,
+    PropagationSampler,
+)
+from repro.cloud.faults import FaultPlan
+from repro.cloud.network import ParallelScheduler
+from repro.cloud.profiles import SimulationProfile
+from repro.cloud.s3 import S3Service
+from repro.cloud.simpledb import SimpleDBService
+from repro.cloud.sqs import SQSService
+
+
+class CloudAccount:
+    """Everything one experiment needs to talk to "AWS".
+
+    Args:
+        profile: the complete performance configuration (service
+            envelopes, environment, period).
+        consistency: ``EVENTUAL`` (AWS, the paper's assumption) or
+            ``STRICT`` (Azure-style).
+        seed: master seed for propagation delays and SQS reordering;
+            fixing it makes runs bit-for-bit reproducible.
+        faults: crash-point plan (defaults to a fresh, unarmed plan).
+    """
+
+    def __init__(
+        self,
+        profile: SimulationProfile = SimulationProfile(),
+        consistency: ConsistencyModel = ConsistencyModel.EVENTUAL,
+        seed: int = 0,
+        faults: Optional[FaultPlan] = None,
+        prices: PriceBook = PriceBook(),
+    ):
+        self.profile = profile
+        self.clock = VirtualClock()
+        self.scheduler = ParallelScheduler(self.clock, profile.environment)
+        self.billing = BillingMeter(prices)
+        self.faults = faults if faults is not None else FaultPlan()
+        self.consistency_model = consistency
+
+        s3_profile = profile.service("s3")
+        sdb_profile = profile.service("simpledb")
+        sqs_profile = profile.service("sqs")
+
+        self.s3 = S3Service(
+            self.scheduler,
+            s3_profile,
+            self.billing,
+            ConsistencyEngine(
+                consistency,
+                PropagationSampler(s3_profile.propagation_delay_mean_s, seed + 1),
+            ),
+        )
+        self.simpledb = SimpleDBService(
+            self.scheduler,
+            sdb_profile,
+            self.billing,
+            ConsistencyEngine(
+                consistency,
+                PropagationSampler(sdb_profile.propagation_delay_mean_s, seed + 2),
+            ),
+        )
+        self.sqs = SQSService(
+            self.scheduler,
+            sqs_profile,
+            self.billing,
+            seed=seed + 3,
+        )
+
+    def stopwatch(self) -> Stopwatch:
+        """A stopwatch over the account's virtual clock."""
+        return Stopwatch(self.clock)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    def settle(self, seconds: float = 60.0) -> None:
+        """Advance the clock far enough for eventual consistency to settle
+        (all pending writes become visible).  Used by experiments that
+        need a quiescent view — e.g. running queries after an upload."""
+        self.clock.advance(seconds)
+
+    def instance_hours(self) -> float:
+        """EC2 instance-hours consumed so far (elapsed virtual time when
+        running on EC2/UML; zero for a local machine)."""
+        if self.profile.environment.instance_hourly_usd == 0:
+            return 0.0
+        return self.clock.now / 3600.0

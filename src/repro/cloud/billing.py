@@ -1,0 +1,166 @@
+"""AWS price book (January 2010) and usage metering.
+
+Table 4 of the paper reports per-benchmark USD costs around one dollar;
+the dominant components are data transfer into S3, S3 storage, request
+charges, and the EC2 instance-hours consumed by the run.  The constants
+here are the published US-East prices from the paper's measurement window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+GB = 1024.0 ** 3
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """US-East prices, January 2010 (USD)."""
+
+    # S3
+    s3_storage_gb_month: float = 0.15
+    s3_data_in_gb: float = 0.10
+    s3_data_out_gb: float = 0.17
+    s3_put_per_1000: float = 0.01  # PUT, COPY, POST, LIST
+    s3_get_per_10000: float = 0.01
+    # SimpleDB
+    sdb_machine_hour: float = 0.14
+    sdb_data_in_gb: float = 0.10
+    sdb_data_out_gb: float = 0.17
+    sdb_box_usage_hours_per_request: float = 0.0000057
+    #: Box usage per attribute-value pair written (SimpleDB metered
+    #: "machine utilization" roughly proportionally to pairs touched).
+    sdb_box_usage_hours_per_item: float = 0.0000044
+    # SQS
+    sqs_per_10000_requests: float = 0.01
+    sqs_data_in_gb: float = 0.10
+    sqs_data_out_gb: float = 0.17
+    # EC2 (Medium instance, the paper's benchmark host)
+    ec2_medium_hour: float = 0.17
+
+
+@dataclass
+class ServiceUsage:
+    """Accumulated usage counters for one service."""
+
+    requests: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_in: int = 0
+    bytes_out: int = 0
+    items: int = 0
+
+    def total_requests(self) -> int:
+        return sum(self.requests.values())
+
+
+class BillingMeter:
+    """Meters every simulated request and prices the total.
+
+    The meter is intentionally dumb: services call :meth:`record` on each
+    request; experiments call :meth:`cost` with the run's storage footprint
+    and elapsed instance time to obtain a Table 4-style USD figure.
+    """
+
+    def __init__(self, prices: PriceBook = PriceBook()):
+        self.prices = prices
+        self.usage: Dict[str, ServiceUsage] = defaultdict(ServiceUsage)
+
+    def record(
+        self,
+        service: str,
+        op: str,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        items: int = 0,
+    ) -> None:
+        """Record one request against ``service`` (e.g. ``("s3", "PUT")``)."""
+        entry = self.usage[service]
+        entry.requests[op] += 1
+        entry.bytes_in += bytes_in
+        entry.bytes_out += bytes_out
+        entry.items += items
+
+    # -- reporting ---------------------------------------------------------
+
+    def operation_count(self, service: str = "") -> int:
+        """Total requests, optionally restricted to one service."""
+        if service:
+            return self.usage[service].total_requests()
+        return sum(u.total_requests() for u in self.usage.values())
+
+    def bytes_transmitted(self, service: str = "") -> int:
+        """Total bytes sent to the cloud (uploads)."""
+        if service:
+            return self.usage[service].bytes_in
+        return sum(u.bytes_in for u in self.usage.values())
+
+    def bytes_received(self, service: str = "") -> int:
+        """Total bytes received from the cloud (downloads)."""
+        if service:
+            return self.usage[service].bytes_out
+        return sum(u.bytes_out for u in self.usage.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-service request counts by operation (for Table 3/5)."""
+        return {
+            service: dict(entry.requests) for service, entry in self.usage.items()
+        }
+
+    def diff_operations(self, before: Dict[str, Dict[str, int]]) -> int:
+        """Requests issued since a :meth:`snapshot`."""
+        now = self.operation_count()
+        then = sum(sum(ops.values()) for ops in before.values())
+        return now - then
+
+    # -- pricing -----------------------------------------------------------
+
+    def cost(
+        self,
+        stored_gb_month: float = 0.0,
+        instance_hours: float = 0.0,
+    ) -> float:
+        """Total USD for the metered usage.
+
+        Args:
+            stored_gb_month: GB-months of S3 storage the run is billed for
+                (the paper bills a month of storage for the uploaded data).
+            instance_hours: EC2 Medium instance-hours consumed by the run.
+        """
+        p = self.prices
+        total = 0.0
+        s3 = self.usage.get("s3", ServiceUsage())
+        put_like = sum(
+            count
+            for op, count in s3.requests.items()
+            if op in ("PUT", "COPY", "POST", "LIST")
+        )
+        get_like = sum(
+            count for op, count in s3.requests.items() if op in ("GET", "HEAD")
+        )
+        total += put_like / 1000.0 * p.s3_put_per_1000
+        total += get_like / 10000.0 * p.s3_get_per_10000
+        total += s3.bytes_in / GB * p.s3_data_in_gb
+        total += s3.bytes_out / GB * p.s3_data_out_gb
+        total += stored_gb_month * p.s3_storage_gb_month
+
+        sdb = self.usage.get("simpledb", ServiceUsage())
+        box_hours = (
+            sdb.total_requests() * p.sdb_box_usage_hours_per_request
+            + sdb.items * p.sdb_box_usage_hours_per_item
+        )
+        total += box_hours * p.sdb_machine_hour
+        total += sdb.bytes_in / GB * p.sdb_data_in_gb
+        total += sdb.bytes_out / GB * p.sdb_data_out_gb
+
+        sqs = self.usage.get("sqs", ServiceUsage())
+        total += sqs.total_requests() / 10000.0 * p.sqs_per_10000_requests
+        total += sqs.bytes_in / GB * p.sqs_data_in_gb
+        total += sqs.bytes_out / GB * p.sqs_data_out_gb
+
+        total += instance_hours * p.ec2_medium_hour
+        return total
+
+    def reset(self) -> None:
+        """Clear all counters (new experiment)."""
+        self.usage = defaultdict(ServiceUsage)

@@ -1,0 +1,71 @@
+"""Virtual clock.
+
+Every simulated service charges operation time against a shared
+:class:`VirtualClock` instead of sleeping.  Benchmarks therefore complete in
+milliseconds of wall time while reporting realistic elapsed seconds, and —
+because the clock is deterministic — repeated runs of the same experiment
+produce identical numbers unless the seed changes.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock, in seconds.
+
+    The clock supports two usage styles:
+
+    - ``advance(dt)`` — move time forward by ``dt`` seconds (sequential
+      work),
+    - ``advance_to(t)`` — jump to an absolute time, used by the parallel
+      scheduler after it computes the makespan of a request batch.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the epoch of the run."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to absolute time ``t`` (no-op if in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.3f}s)"
+
+
+class Stopwatch:
+    """Measures elapsed virtual time across a region of code.
+
+    Example::
+
+        sw = Stopwatch(clock)
+        ... run simulated work ...
+        elapsed = sw.elapsed()
+    """
+
+    def __init__(self, clock: VirtualClock):
+        self._clock = clock
+        self._start = clock.now
+
+    def restart(self) -> None:
+        """Reset the stopwatch origin to the current time."""
+        self._start = self._clock.now
+
+    def elapsed(self) -> float:
+        """Virtual seconds since construction (or the last restart)."""
+        return self._clock.now - self._start

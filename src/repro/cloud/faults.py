@@ -1,0 +1,83 @@
+"""Fault injection.
+
+The paper's property arguments (§3, §4.3) hinge on what survives when a
+client crashes between cloud requests: P1/P2 decouple data from provenance
+if the crash lands between the provenance write and the data write, while
+P3's WAL lets another machine finish the transaction.
+
+:class:`FaultPlan` arms named *crash points*.  Protocol code calls
+:meth:`FaultPlan.crash_point` at each step boundary; if that point is
+armed (and its countdown has reached zero) a
+:class:`~repro.errors.ClientCrashError` propagates, abandoning all
+in-memory client state while everything already applied to the simulated
+services survives — exactly a machine crash from the cloud's point of
+view.
+
+Crash point names used by the protocols:
+
+========================  =====================================================
+``p1.after_prov_put``     P1: provenance object written, data object not yet
+``p1.after_data_put``     P1: both writes done (crash after completion)
+``p2.after_prov_put``     P2: SimpleDB items written, data object not yet
+``p2.after_data_put``     P2: both writes done
+``p3.mid_log``            P3: some WAL messages sent, transaction incomplete
+``p3.after_log``          P3: WAL complete, commit daemon has not run
+``p3.mid_commit``         P3: commit daemon crashed between commit steps
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ClientCrashError
+
+
+@dataclass
+class _ArmedPoint:
+    """Countdown until the crash fires: 0 means "next hit crashes"."""
+
+    remaining_skips: int = 0
+    fired: bool = False
+
+
+@dataclass
+class FaultPlan:
+    """Arms crash points and counts how often each point was passed."""
+
+    _armed: Dict[str, _ArmedPoint] = field(default_factory=dict)
+    hits: Dict[str, int] = field(default_factory=dict)
+
+    def arm_crash(self, point: str, skip: int = 0) -> None:
+        """Arm ``point`` so that its ``skip+1``-th hit raises
+        :class:`ClientCrashError`."""
+        self._armed[point] = _ArmedPoint(remaining_skips=skip)
+
+    def disarm(self, point: str) -> None:
+        """Remove the armed crash at ``point`` (idempotent)."""
+        self._armed.pop(point, None)
+
+    def disarm_all(self) -> None:
+        self._armed.clear()
+
+    def crash_point(self, point: str) -> None:
+        """Called by protocol code at each step boundary."""
+        self.hits[point] = self.hits.get(point, 0) + 1
+        armed = self._armed.get(point)
+        if armed is None or armed.fired:
+            return
+        if armed.remaining_skips > 0:
+            armed.remaining_skips -= 1
+            return
+        armed.fired = True
+        raise ClientCrashError(point)
+
+    def fired(self, point: str) -> bool:
+        """Whether the armed crash at ``point`` has already gone off."""
+        armed = self._armed.get(point)
+        return armed is not None and armed.fired
+
+
+#: A plan with nothing armed — the default for healthy runs.
+NO_FAULTS = FaultPlan()

@@ -1,0 +1,242 @@
+"""Calibrated performance envelopes for the simulated services.
+
+The paper reports service behaviour qualitatively (S3 and SQS scale to at
+least 150 concurrent connections while SimpleDB peaks around 40; SQS is
+dramatically faster for provenance upload; SimpleDB is the slowest) and
+quantitatively in Table 2 (324.7 s / 537.1 s / 36.2 s to upload 50 MB of
+provenance to S3 / SimpleDB / SQS).  The constants below are calibrated so
+the simulator reproduces those shapes:
+
+- every request pays a WAN round-trip latency (2009-era, client to AWS),
+- bytes move at a per-connection bandwidth, additionally capped by the
+  client NIC shared across all active connections,
+- SimpleDB pays a per-item processing cost (this is what makes
+  ``BatchPutAttributes`` slow and why SimpleDB loses Table 2),
+- each service stops benefiting from extra connections past its cap.
+
+Environment profiles model where the client runs (native EC2, a UML guest
+on EC2, or a local machine across the WAN); period profiles model the
+service-side improvements the paper observed between September 2009 and
+December 2009/January 2010.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Performance envelope of one cloud service.
+
+    Attributes:
+        name: service identifier ("s3", "simpledb", "sqs").
+        request_latency_s: fixed per-*write*-request time (WAN RTT plus
+            the service's commit path: S3 PUTs replicate before they
+            acknowledge, which is why writes are ~25× slower than reads).
+        read_latency_s: fixed per-*read*-request time (GET/HEAD/Select).
+            Calibrated from the paper's Table 5: Q2 on S3 costs 0.060 s —
+            one HEAD plus one GET at ~30 ms each.
+        per_connection_bw: sustained bytes/second one connection achieves
+            (effectively NIC-limited; the client NIC cap in the
+            environment profile is the binding constraint).
+        per_item_s: service-side seconds per attribute-value pair,
+            serialized through the service's shared indexing pipeline
+            (SimpleDB only; zero for S3/SQS).  The pipeline limits
+            *sustained* ingest — isolated calls stay fast — which is what
+            makes SimpleDB lose Table 2 yet add little to Figure 4.
+        max_useful_connections: adding connections beyond this count gives
+            no additional throughput (the paper measured ~150 for S3/SQS
+            and ~40 for SimpleDB).
+        propagation_delay_mean_s: mean time for a write to become visible
+            at every replica (the eventual-consistency window).
+    """
+
+    name: str
+    request_latency_s: float
+    per_connection_bw: float
+    read_latency_s: float = 0.03
+    per_item_s: float = 0.0
+    max_useful_connections: int = 150
+    propagation_delay_mean_s: float = 4.0
+
+    def scaled(self, latency_scale: float, bw_scale: float) -> "ServiceProfile":
+        """Return a copy with latency and bandwidth scaled (period model)."""
+        return replace(
+            self,
+            request_latency_s=self.request_latency_s * latency_scale,
+            read_latency_s=self.read_latency_s * latency_scale,
+            per_item_s=self.per_item_s * latency_scale,
+            per_connection_bw=self.per_connection_bw * bw_scale,
+        )
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """Where the client runs.
+
+    Attributes:
+        name: "ec2", "uml", or "local".
+        nic_bw: aggregate client network bandwidth in bytes/second, shared
+            by all concurrent connections.
+        extra_latency_s: additional per-request latency (a local machine
+            is further from AWS than an EC2 instance).
+        cpu_factor: multiplier on client-side compute time (UML guests are
+            slower than native EC2).
+        memory_penalty: multiplier applied to the compute time of
+            memory-hungry workloads (the paper found Blast thrashing in
+            UML's 512 MB guest: 650 s native vs 1322 s under UML).
+        prov_cpu_per_request_s: client-side CPU seconds spent preparing
+            each provenance request (PASS record extraction, DPAPI
+            marshalling, serialization).  This work is serial on the
+            client and is the main reason provenance upload costs more
+            than its byte count suggests; scaled by ``cpu_factor``.
+        prov_cpu_per_item_s: client-side CPU seconds per attribute-value
+            pair marshalled into a SimpleDB request (the 2009 API's
+            per-pair XML/HTTP encoding); what makes P2 the slowest
+            protocol in the paper's microbenchmark.
+        instance_hourly_usd: EC2 instance cost attributed to the run
+            (zero for a local machine).
+    """
+
+    name: str
+    nic_bw: float
+    extra_latency_s: float = 0.0
+    cpu_factor: float = 1.0
+    memory_penalty: float = 1.0
+    prov_cpu_per_request_s: float = 0.04
+    prov_cpu_per_item_s: float = 0.0005
+    instance_hourly_usd: float = 0.0
+
+
+@dataclass(frozen=True)
+class PeriodProfile:
+    """When the experiment ran.
+
+    AWS performance improved over the paper's measurement window; elapsed
+    times dropped between 4 % and 44.5 % from September 2009 to
+    December 2009/January 2010.  We model that as a uniform service-side
+    speedup.
+    """
+
+    name: str
+    latency_scale: float = 1.0
+    bw_scale: float = 1.0
+
+
+# --------------------------------------------------------------------------
+# Calibrated defaults
+# --------------------------------------------------------------------------
+
+#: S3, January-2010 behaviour as seen from EC2 (us-east).  The write
+#: latency is calibrated against Table 2 (uploading ~65 k provenance
+#: versions over 150 connections in ~325 s), the read latency against
+#: Table 5 (Q2 = HEAD + GET = 0.060 s).
+S3_PROFILE = ServiceProfile(
+    name="s3",
+    request_latency_s=0.50,
+    read_latency_s=0.03,
+    per_connection_bw=50 * MB,
+    per_item_s=0.0,
+    max_useful_connections=150,
+    propagation_delay_mean_s=4.0,
+)
+
+#: SimpleDB: a shared per-attribute indexing pipeline and a ~40-connection
+#: ceiling.  Calibrated against Table 2: 50 MB of provenance = ~690 k
+#: attribute pairs at ~1300 pairs/s sustained = ~537 s.
+SIMPLEDB_PROFILE = ServiceProfile(
+    name="simpledb",
+    request_latency_s=0.70,
+    read_latency_s=0.03,
+    per_connection_bw=50 * MB,
+    per_item_s=0.00078,
+    max_useful_connections=40,
+    propagation_delay_mean_s=4.0,
+)
+
+#: SQS: same WAN write latency, but 8 KB bundling means far fewer
+#: requests — Table 2's 36.2 s for 50 MB (~6400 messages, 150 conns).
+SQS_PROFILE = ServiceProfile(
+    name="sqs",
+    request_latency_s=0.80,
+    read_latency_s=0.10,
+    per_connection_bw=50 * MB,
+    per_item_s=0.0,
+    max_useful_connections=150,
+    propagation_delay_mean_s=2.0,
+)
+
+#: Native EC2 Medium instance (the paper's benchmark host).
+EC2_ENV = EnvironmentProfile(
+    name="ec2",
+    nic_bw=int(5.6 * MB),
+    extra_latency_s=0.0,
+    cpu_factor=1.0,
+    memory_penalty=1.0,
+    instance_hourly_usd=0.17,
+)
+
+#: User-Mode Linux guest (512 MB) on an EC2 Medium instance.  The paper
+#: measured nightly-backup I/O at 419 s native vs 528 s under UML
+#: (cpu_factor ~1.26) and Blast at 650 s vs 1322 s (memory_penalty ~2.03).
+UML_ENV = EnvironmentProfile(
+    name="uml",
+    nic_bw=int(5.6 * MB),
+    extra_latency_s=0.0,
+    cpu_factor=1.26,
+    memory_penalty=2.03,
+    instance_hourly_usd=0.17,
+)
+
+#: A local machine across the WAN: slower uplink, higher RTT, no EC2 bill.
+LOCAL_ENV = EnvironmentProfile(
+    name="local",
+    nic_bw=int(3.0 * MB),
+    extra_latency_s=0.05,
+    cpu_factor=1.0,
+    memory_penalty=1.0,
+    instance_hourly_usd=0.0,
+)
+
+#: September 2009: services were measurably slower.
+SEP09 = PeriodProfile(name="sep09", latency_scale=1.25, bw_scale=0.80)
+
+#: December 2009 / January 2010: the baseline for the calibrated profiles.
+DEC09 = PeriodProfile(name="dec09", latency_scale=1.0, bw_scale=1.0)
+
+
+@dataclass(frozen=True)
+class SimulationProfile:
+    """Complete performance configuration for one experiment run."""
+
+    s3: ServiceProfile = S3_PROFILE
+    simpledb: ServiceProfile = SIMPLEDB_PROFILE
+    sqs: ServiceProfile = SQS_PROFILE
+    environment: EnvironmentProfile = EC2_ENV
+    period: PeriodProfile = DEC09
+
+    def service(self, name: str) -> ServiceProfile:
+        """Return the period-adjusted profile for a service by name."""
+        base = {"s3": self.s3, "simpledb": self.simpledb, "sqs": self.sqs}
+        try:
+            profile = base[name]
+        except KeyError:
+            raise ValueError(f"unknown service {name!r}") from None
+        return profile.scaled(self.period.latency_scale, self.period.bw_scale)
+
+    def with_environment(self, env: EnvironmentProfile) -> "SimulationProfile":
+        """Return a copy of this profile running in a different environment."""
+        return replace(self, environment=env)
+
+    def with_period(self, period: PeriodProfile) -> "SimulationProfile":
+        """Return a copy of this profile measured in a different period."""
+        return replace(self, period=period)
+
+
+ENVIRONMENTS = {"ec2": EC2_ENV, "uml": UML_ENV, "local": LOCAL_ENV}
+PERIODS = {"sep09": SEP09, "dec09": DEC09}

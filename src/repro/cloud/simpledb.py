@@ -1,0 +1,533 @@
+"""Simulated Amazon SimpleDB (circa January 2010).
+
+Semantics implemented (§2.3 of the paper):
+
+- domains of *items*; an item is a named bag of attribute-value pairs,
+- attributes are multi-valued and schemaless; names and values are limited
+  to 1 KB (the limit that forces P2/P3 to spill large provenance values to
+  S3),
+- ``BatchPutAttributes`` accepts at most 25 items per call,
+- ``Select`` supports a subset of the SimpleDB query language used by the
+  paper's queries: ``=``, ``!=``, ``LIKE 'prefix%'``, ``IN (...)``,
+  ``AND``/``OR``, and ``itemName()``; every attribute is indexed, results
+  are paginated with a next-token,
+- reads are eventually consistent at item granularity.
+
+Pagination is capped at :data:`SELECT_PAGE_ITEMS` items (standing in for
+SimpleDB's 1 MB/2500-item response limits) — this is why the paper's Q1
+needs several sequential round-trips on SimpleDB.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.billing import BillingMeter
+from repro.cloud.consistency import ConsistencyEngine, VersionedRegister
+from repro.cloud.network import ParallelScheduler, Request
+from repro.cloud.profiles import ServiceProfile
+from repro.errors import (
+    InvalidRequestError,
+    LimitExceededError,
+    NoSuchDomainError,
+    QuerysyntaxError,
+)
+
+#: SimpleDB limits attribute names and values to 1 KB.
+ATTRIBUTE_LIMIT_BYTES = 1024
+
+#: Maximum items per BatchPutAttributes call.
+BATCH_PUT_LIMIT = 25
+
+#: Maximum attribute-value pairs per item.
+ITEM_ATTRIBUTE_LIMIT = 256
+
+#: Items returned per Select page.
+SELECT_PAGE_ITEMS = 1200
+
+#: One item: (item name, [(attribute, value), ...]).
+ItemPut = Tuple[str, Sequence[Tuple[str, str]]]
+
+#: Materialized item attributes: attribute -> list of values.
+ItemAttributes = Dict[str, List[str]]
+
+
+# --------------------------------------------------------------------------
+# Select expression AST + parser
+# --------------------------------------------------------------------------
+
+class _Condition:
+    """Base class for parsed WHERE conditions."""
+
+    def matches(self, item_name: str, attributes: ItemAttributes) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class _Comparison(_Condition):
+    attribute: str
+    op: str
+    values: List[str]
+
+    def matches(self, item_name: str, attributes: ItemAttributes) -> bool:
+        if self.attribute == "itemName()":
+            candidates = [item_name]
+        else:
+            candidates = attributes.get(self.attribute, [])
+        if self.op == "=":
+            return any(v == self.values[0] for v in candidates)
+        if self.op == "!=":
+            # SimpleDB: true if any value differs (and the attribute exists).
+            return any(v != self.values[0] for v in candidates)
+        if self.op == "like":
+            # re.escape turns % into \%; rewrite those as wildcards.
+            pattern = self.values[0]
+            regex = "^" + re.escape(pattern).replace("\\%", ".*").replace("%", ".*") + "$"
+            return any(re.match(regex, v) for v in candidates)
+        if self.op == "in":
+            allowed = set(self.values)
+            return any(v in allowed for v in candidates)
+        raise QuerysyntaxError(f"unsupported operator {self.op!r}")
+
+
+@dataclass
+class _BoolOp(_Condition):
+    op: str  # "and" | "or"
+    left: _Condition
+    right: _Condition
+
+    def matches(self, item_name: str, attributes: ItemAttributes) -> bool:
+        if self.op == "and":
+            return self.left.matches(item_name, attributes) and self.right.matches(
+                item_name, attributes
+            )
+        return self.left.matches(item_name, attributes) or self.right.matches(
+            item_name, attributes
+        )
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'            # quoted string (with '' escapes)
+      | itemName\(\)              # item name function
+      | [A-Za-z_][A-Za-z0-9_.\-]* # identifier / keyword
+      | `[^`]+`                   # backtick-quoted attribute
+      | != | = | \( | \) | ,
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            if text[pos:].strip() == "":
+                break
+            raise QuerysyntaxError(f"cannot tokenize query at: {text[pos:]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the WHERE clause grammar::
+
+        expr    := term (OR term)*
+        term    := factor (AND factor)*
+        factor  := '(' expr ')' | comparison
+        comparison := attr ('=' | '!=') value
+                    | attr LIKE value
+                    | attr IN '(' value (',' value)* ')'
+    """
+
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[str]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QuerysyntaxError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def parse(self) -> _Condition:
+        expr = self._expr()
+        if self._peek() is not None:
+            raise QuerysyntaxError(f"trailing tokens: {self._tokens[self._pos:]}")
+        return expr
+
+    def _expr(self) -> _Condition:
+        left = self._term()
+        while self._peek() and self._peek().lower() == "or":
+            self._next()
+            left = _BoolOp("or", left, self._term())
+        return left
+
+    def _term(self) -> _Condition:
+        left = self._factor()
+        while self._peek() and self._peek().lower() == "and":
+            self._next()
+            left = _BoolOp("and", left, self._factor())
+        return left
+
+    def _factor(self) -> _Condition:
+        if self._peek() == "(":
+            self._next()
+            expr = self._expr()
+            if self._next() != ")":
+                raise QuerysyntaxError("expected ')'")
+            return expr
+        return self._comparison()
+
+    def _comparison(self) -> _Condition:
+        attribute = self._attribute(self._next())
+        op = self._next().lower()
+        if op in ("=", "!="):
+            return _Comparison(attribute, op, [self._value(self._next())])
+        if op == "like":
+            return _Comparison(attribute, "like", [self._value(self._next())])
+        if op == "in":
+            if self._next() != "(":
+                raise QuerysyntaxError("expected '(' after IN")
+            values = [self._value(self._next())]
+            while self._peek() == ",":
+                self._next()
+                values.append(self._value(self._next()))
+            if self._next() != ")":
+                raise QuerysyntaxError("expected ')' closing IN list")
+            return _Comparison(attribute, "in", values)
+        raise QuerysyntaxError(f"unsupported operator {op!r}")
+
+    @staticmethod
+    def _attribute(token: str) -> str:
+        if token.startswith("`") and token.endswith("`"):
+            return token[1:-1]
+        return token
+
+    @staticmethod
+    def _value(token: str) -> str:
+        if not (token.startswith("'") and token.endswith("'")):
+            raise QuerysyntaxError(f"expected quoted value, got {token!r}")
+        return token[1:-1].replace("''", "'")
+
+
+_SELECT_RE = re.compile(
+    r"^\s*select\s+\*\s+from\s+(`[^`]+`|[A-Za-z0-9_.\-]+)(?:\s+where\s+(.*))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def parse_select(expression: str) -> Tuple[str, Optional[_Condition]]:
+    """Parse a ``SELECT * FROM domain [WHERE ...]`` expression.
+
+    Returns the domain name and the parsed condition (``None`` for no
+    WHERE clause).
+    """
+    match = _SELECT_RE.match(expression)
+    if not match:
+        raise QuerysyntaxError(f"cannot parse select expression: {expression!r}")
+    domain = match.group(1)
+    if domain.startswith("`"):
+        domain = domain[1:-1]
+    where = match.group(2)
+    condition = _Parser(_tokenize(where)).parse() if where else None
+    return domain, condition
+
+
+# --------------------------------------------------------------------------
+# The service
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectPage:
+    """One page of Select results."""
+
+    rows: List[Tuple[str, ItemAttributes]]
+    next_token: str
+
+    @property
+    def complete(self) -> bool:
+        return not self.next_token
+
+
+def _pairs_size(pairs: Sequence[Tuple[str, str]]) -> int:
+    return sum(len(a.encode()) + len(v.encode()) for a, v in pairs)
+
+
+class SimpleDBService:
+    """In-process SimpleDB stand-in."""
+
+    service_name = "simpledb"
+
+    def __init__(
+        self,
+        scheduler: ParallelScheduler,
+        profile: ServiceProfile,
+        billing: BillingMeter,
+        consistency: Optional[ConsistencyEngine] = None,
+    ):
+        self._scheduler = scheduler
+        self._profile = profile
+        self._billing = billing
+        self._consistency = consistency or ConsistencyEngine()
+        self._domains: Dict[str, Dict[str, VersionedRegister[ItemAttributes]]] = {}
+
+    @property
+    def profile(self) -> ServiceProfile:
+        return self._profile
+
+    def create_domain(self, domain: str) -> None:
+        """Create a domain (idempotent, free)."""
+        self._domains.setdefault(domain, {})
+
+    def _domain(self, domain: str) -> Dict[str, VersionedRegister[ItemAttributes]]:
+        try:
+            return self._domains[domain]
+        except KeyError:
+            raise NoSuchDomainError(f"domain {domain!r} does not exist") from None
+
+    # -- request builders ----------------------------------------------------
+
+    def batch_put_request(
+        self, domain: str, items: Sequence[ItemPut], replace: bool = False
+    ) -> Request:
+        """Build a ``BatchPutAttributes`` request (≤ 25 items).
+
+        With ``replace=False`` (SimpleDB default) new values are appended
+        to existing multi-valued attributes; with ``replace=True`` each
+        named attribute is overwritten.
+        """
+        if not items:
+            raise InvalidRequestError("BatchPutAttributes requires at least one item")
+        if len(items) > BATCH_PUT_LIMIT:
+            raise LimitExceededError(
+                f"BatchPutAttributes limited to {BATCH_PUT_LIMIT} items, got {len(items)}"
+            )
+        self._validate_items(items)
+        registry = self._domain(domain)
+        payload = sum(_pairs_size(pairs) + len(name.encode()) for name, pairs in items)
+        item_count = len(items)
+        # The service's per-unit cost scales with attribute-value pairs
+        # (each one is indexed), not with item count.
+        attr_pairs = sum(len(pairs) for _, pairs in items)
+
+        def apply(start: float, finish: float) -> None:
+            for name, pairs in items:
+                self._merge_item(registry, name, pairs, replace, finish)
+            self._billing.record(
+                "simpledb", "BatchPutAttributes", bytes_in=payload, items=attr_pairs
+            )
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            payload_bytes=payload,
+            items=attr_pairs,
+            label=f"sdb.BatchPut {domain} x{item_count}",
+        )
+
+    def put_request(
+        self,
+        domain: str,
+        item: str,
+        pairs: Sequence[Tuple[str, str]],
+        replace: bool = False,
+    ) -> Request:
+        """Build a single-item ``PutAttributes`` request."""
+        self._validate_items([(item, pairs)])
+        registry = self._domain(domain)
+        payload = _pairs_size(pairs) + len(item.encode())
+
+        def apply(start: float, finish: float) -> None:
+            self._merge_item(registry, item, pairs, replace, finish)
+            self._billing.record(
+                "simpledb", "PutAttributes", bytes_in=payload, items=len(pairs)
+            )
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            payload_bytes=payload,
+            items=len(pairs),
+            label=f"sdb.Put {domain}/{item}",
+        )
+
+    def get_request(self, domain: str, item: str) -> Request:
+        """Build a ``GetAttributes`` request; resolves to the item's
+        attributes (empty dict if the item is absent or not yet visible)."""
+        registry = self._domain(domain)
+
+        def apply(start: float, finish: float) -> ItemAttributes:
+            attributes = self._observe(registry, item, start)
+            size = sum(
+                len(a) + sum(len(v) for v in vals) for a, vals in attributes.items()
+            )
+            self._billing.record("simpledb", "GetAttributes", bytes_out=size)
+            return {a: list(vals) for a, vals in attributes.items()}
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            read_only=True,
+            label=f"sdb.Get {domain}/{item}",
+        )
+
+    def select_request(self, expression: str, next_token: str = "") -> Request:
+        """Build one ``Select`` page request; resolves to
+        :class:`SelectPage`.  Pages must be fetched sequentially — each
+        next-token comes from the previous page (the reason the paper's Q1
+        cannot be parallelized on SimpleDB)."""
+        domain_name, condition = parse_select(expression)
+        registry = self._domain(domain_name)
+        offset = int(next_token) if next_token else 0
+
+        def apply(start: float, finish: float) -> SelectPage:
+            matches: List[Tuple[str, ItemAttributes]] = []
+            for name in sorted(registry):
+                attributes = self._observe(registry, name, start)
+                if not attributes:
+                    continue
+                if condition is None or condition.matches(name, attributes):
+                    matches.append((name, {a: list(v) for a, v in attributes.items()}))
+            page = matches[offset : offset + SELECT_PAGE_ITEMS]
+            done = offset + SELECT_PAGE_ITEMS >= len(matches)
+            token = "" if done else str(offset + SELECT_PAGE_ITEMS)
+            size = sum(
+                len(n)
+                + sum(len(a) + sum(len(v) for v in vals) for a, vals in attrs.items())
+                for n, attrs in page
+            )
+            self._billing.record("simpledb", "Select", bytes_out=size)
+            return SelectPage(rows=page, next_token=token)
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            response_bytes=0,
+            read_only=True,
+            label=f"sdb.Select {expression[:60]}",
+        )
+
+    # -- sequential conveniences ----------------------------------------------
+
+    def batch_put(
+        self, domain: str, items: Sequence[ItemPut], replace: bool = False
+    ) -> None:
+        self._scheduler.execute_one(self.batch_put_request(domain, items, replace))
+
+    def put_attributes(
+        self,
+        domain: str,
+        item: str,
+        pairs: Sequence[Tuple[str, str]],
+        replace: bool = False,
+    ) -> None:
+        self._scheduler.execute_one(self.put_request(domain, item, pairs, replace))
+
+    def get_attributes(self, domain: str, item: str) -> ItemAttributes:
+        return self._scheduler.execute_one(self.get_request(domain, item))
+
+    def select(self, expression: str) -> List[Tuple[str, ItemAttributes]]:
+        """Run a Select to completion, following next-tokens sequentially."""
+        rows: List[Tuple[str, ItemAttributes]] = []
+        token = ""
+        while True:
+            page: SelectPage = self._scheduler.execute_one(
+                self.select_request(expression, token)
+            )
+            rows.extend(page.rows)
+            if page.complete:
+                return rows
+            token = page.next_token
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _validate_items(items: Sequence[ItemPut]) -> None:
+        for name, pairs in items:
+            if not name:
+                raise InvalidRequestError("item name must be non-empty")
+            if len(name.encode()) > ATTRIBUTE_LIMIT_BYTES:
+                raise LimitExceededError(f"item name {name[:32]!r}... exceeds 1 KB")
+            if len(pairs) > ITEM_ATTRIBUTE_LIMIT:
+                raise LimitExceededError(
+                    f"item {name!r} has {len(pairs)} attribute pairs (limit "
+                    f"{ITEM_ATTRIBUTE_LIMIT})"
+                )
+            for attribute, value in pairs:
+                if len(attribute.encode()) > ATTRIBUTE_LIMIT_BYTES:
+                    raise LimitExceededError(
+                        f"attribute name {attribute[:32]!r}... exceeds 1 KB"
+                    )
+                if len(value.encode()) > ATTRIBUTE_LIMIT_BYTES:
+                    raise LimitExceededError(
+                        f"value of {attribute!r} exceeds 1 KB ({len(value)} bytes); "
+                        "spill it to S3"
+                    )
+
+    def _merge_item(
+        self,
+        registry: Dict[str, VersionedRegister[ItemAttributes]],
+        name: str,
+        pairs: Sequence[Tuple[str, str]],
+        replace: bool,
+        committed_at: float,
+    ) -> None:
+        register = registry.setdefault(name, VersionedRegister())
+        latest = register.read_latest_committed(committed_at)
+        current: ItemAttributes = {}
+        if latest is not None and not latest.deleted and latest.value:
+            current = {a: list(v) for a, v in latest.value.items()}
+        if replace:
+            for attribute, _ in pairs:
+                current.pop(attribute, None)
+        for attribute, value in pairs:
+            current.setdefault(attribute, []).append(value)
+        visible = self._consistency.visibility_for(committed_at)
+        register.write(current, committed_at, visible)
+
+    def _observe(
+        self,
+        registry: Dict[str, VersionedRegister[ItemAttributes]],
+        name: str,
+        at: float,
+    ) -> ItemAttributes:
+        register = registry.get(name)
+        if register is None:
+            return {}
+        version = register.read(at, self._consistency.model)
+        if version is None or version.deleted or version.value is None:
+            return {}
+        return version.value
+
+    # -- omniscient inspection (tests & property checkers only) -----------------
+
+    def peek_item(self, domain: str, item: str) -> ItemAttributes:
+        """Fully propagated item state (tests only)."""
+        register = self._domains.get(domain, {}).get(item)
+        if register is None:
+            return {}
+        version = register.read_latest_committed(float("inf"))
+        if version is None or version.deleted or version.value is None:
+            return {}
+        return {a: list(v) for a, v in version.value.items()}
+
+    def peek_item_names(self, domain: str) -> List[str]:
+        """All item names with visible-eventually state (tests only)."""
+        names = []
+        for name, register in self._domains.get(domain, {}).items():
+            version = register.read_latest_committed(float("inf"))
+            if version is not None and not version.deleted and version.value:
+                names.append(name)
+        return sorted(names)

@@ -1,0 +1,252 @@
+"""Simulated Amazon SQS (circa January 2010).
+
+Semantics implemented (§2.3 and §4.3.3 of the paper):
+
+- queues identified by URL,
+- ``SendMessage`` with an 8 KB body limit (the limit that forces P3 to
+  chunk provenance and to spill data payloads to temporary S3 objects),
+- ``ReceiveMessage`` returns up to 10 messages with a *visibility
+  timeout*: a received message is hidden from other consumers until the
+  timeout lapses, then redelivered (at-least-once delivery),
+- ``DeleteMessage`` by receipt handle,
+- best-effort ordering: approximately FIFO, with occasional seeded
+  reordering,
+- messages are retained for four days and then silently dropped —
+  exactly the garbage-collection behaviour P3 relies on for abandoned
+  transactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.billing import BillingMeter
+from repro.cloud.network import ParallelScheduler, Request
+from repro.cloud.profiles import ServiceProfile
+from repro.errors import InvalidRequestError, LimitExceededError, NoSuchQueueError
+
+#: SQS message body limit (8 KB).
+MESSAGE_LIMIT_BYTES = 8 * 1024
+
+#: Messages are retained for four days, then dropped.
+RETENTION_SECONDS = 4 * 24 * 3600.0
+
+#: Maximum messages returned by one ReceiveMessage call.
+RECEIVE_BATCH_LIMIT = 10
+
+#: Default visibility timeout, seconds.
+DEFAULT_VISIBILITY_TIMEOUT = 30.0
+
+
+@dataclass
+class Message:
+    """A message as seen by a consumer."""
+
+    message_id: str
+    receipt_handle: str
+    body: str
+    sent_at: float
+
+
+@dataclass
+class _StoredMessage:
+    message_id: str
+    body: str
+    sent_at: float
+    invisible_until: float = 0.0
+    deleted: bool = False
+    receipt_counter: int = 0
+
+
+@dataclass
+class _Queue:
+    url: str
+    messages: List[_StoredMessage] = field(default_factory=list)
+    #: receipt handle -> message id (handles invalidate on redelivery).
+    receipts: Dict[str, str] = field(default_factory=dict)
+
+
+class SQSService:
+    """In-process SQS stand-in."""
+
+    service_name = "sqs"
+
+    def __init__(
+        self,
+        scheduler: ParallelScheduler,
+        profile: ServiceProfile,
+        billing: BillingMeter,
+        seed: int = 0,
+        duplicate_delivery_rate: float = 0.0,
+    ):
+        self._scheduler = scheduler
+        self._profile = profile
+        self._billing = billing
+        self._rng = random.Random(seed)
+        self._queues: Dict[str, _Queue] = {}
+        self._ids = itertools.count(1)
+        #: Probability a received message is delivered twice (fault knob).
+        self.duplicate_delivery_rate = duplicate_delivery_rate
+
+    @property
+    def profile(self) -> ServiceProfile:
+        return self._profile
+
+    def create_queue(self, name: str) -> str:
+        """Create a queue; returns its URL (idempotent)."""
+        url = f"sqs://queues/{name}"
+        self._queues.setdefault(url, _Queue(url=url))
+        return url
+
+    def _queue(self, url: str) -> _Queue:
+        try:
+            return self._queues[url]
+        except KeyError:
+            raise NoSuchQueueError(f"queue {url!r} does not exist") from None
+
+    # -- request builders ----------------------------------------------------
+
+    def send_request(self, url: str, body: str) -> Request:
+        """Build a SendMessage request; resolves to the message id."""
+        encoded = body.encode("utf-8")
+        if len(encoded) > MESSAGE_LIMIT_BYTES:
+            raise LimitExceededError(
+                f"message body is {len(encoded)} bytes; SQS limit is "
+                f"{MESSAGE_LIMIT_BYTES}"
+            )
+        if not body:
+            raise InvalidRequestError("message body must be non-empty")
+        queue = self._queue(url)
+        size = len(encoded)
+
+        def apply(start: float, finish: float) -> str:
+            message_id = f"msg-{next(self._ids)}"
+            queue.messages.append(
+                _StoredMessage(message_id=message_id, body=body, sent_at=finish)
+            )
+            self._billing.record("sqs", "SendMessage", bytes_in=size)
+            return message_id
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            payload_bytes=size,
+            label=f"sqs.Send {url}",
+        )
+
+    def receive_request(
+        self,
+        url: str,
+        max_messages: int = RECEIVE_BATCH_LIMIT,
+        visibility_timeout: float = DEFAULT_VISIBILITY_TIMEOUT,
+    ) -> Request:
+        """Build a ReceiveMessage request; resolves to a list of
+        :class:`Message` (possibly empty)."""
+        if not 1 <= max_messages <= RECEIVE_BATCH_LIMIT:
+            raise InvalidRequestError(
+                f"max_messages must be in [1, {RECEIVE_BATCH_LIMIT}]"
+            )
+        queue = self._queue(url)
+
+        def apply(start: float, finish: float) -> List[Message]:
+            self._expire(queue, start)
+            available = [
+                m
+                for m in queue.messages
+                if not m.deleted and m.invisible_until <= start
+            ]
+            # Best-effort ordering: approximately FIFO with light shuffling.
+            if len(available) > 1 and self._rng.random() < 0.2:
+                self._rng.shuffle(available)
+            picked = available[:max_messages]
+            delivered: List[Message] = []
+            for stored in picked:
+                stored.invisible_until = start + visibility_timeout
+                stored.receipt_counter += 1
+                handle = f"{stored.message_id}#r{stored.receipt_counter}"
+                queue.receipts[handle] = stored.message_id
+                delivered.append(
+                    Message(stored.message_id, handle, stored.body, stored.sent_at)
+                )
+                if (
+                    self.duplicate_delivery_rate > 0
+                    and self._rng.random() < self.duplicate_delivery_rate
+                    and len(delivered) < max_messages
+                ):
+                    # At-least-once delivery: hand out a duplicate receipt.
+                    stored.receipt_counter += 1
+                    dup_handle = f"{stored.message_id}#r{stored.receipt_counter}"
+                    queue.receipts[dup_handle] = stored.message_id
+                    delivered.append(
+                        Message(
+                            stored.message_id, dup_handle, stored.body, stored.sent_at
+                        )
+                    )
+            size = sum(len(m.body.encode()) for m in delivered)
+            self._billing.record("sqs", "ReceiveMessage", bytes_out=size)
+            return delivered
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            read_only=True,
+            label=f"sqs.Receive {url}",
+        )
+
+    def delete_request(self, url: str, receipt_handle: str) -> Request:
+        """Build a DeleteMessage request (idempotent on stale handles)."""
+        queue = self._queue(url)
+
+        def apply(start: float, finish: float) -> None:
+            message_id = queue.receipts.pop(receipt_handle, None)
+            if message_id is not None:
+                for stored in queue.messages:
+                    if stored.message_id == message_id:
+                        stored.deleted = True
+                        break
+            self._billing.record("sqs", "DeleteMessage")
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            label=f"sqs.Delete {url}",
+        )
+
+    # -- sequential conveniences ----------------------------------------------
+
+    def send_message(self, url: str, body: str) -> str:
+        return self._scheduler.execute_one(self.send_request(url, body))
+
+    def receive_messages(
+        self,
+        url: str,
+        max_messages: int = RECEIVE_BATCH_LIMIT,
+        visibility_timeout: float = DEFAULT_VISIBILITY_TIMEOUT,
+    ) -> List[Message]:
+        return self._scheduler.execute_one(
+            self.receive_request(url, max_messages, visibility_timeout)
+        )
+
+    def delete_message(self, url: str, receipt_handle: str) -> None:
+        self._scheduler.execute_one(self.delete_request(url, receipt_handle))
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _expire(queue: _Queue, now: float) -> None:
+        cutoff = now - RETENTION_SECONDS
+        for stored in queue.messages:
+            if not stored.deleted and stored.sent_at < cutoff:
+                stored.deleted = True
+
+    # -- omniscient inspection (tests & daemons' bookkeeping) --------------------
+
+    def pending_count(self, url: str, now: Optional[float] = None) -> int:
+        """Number of undeleted, unexpired messages (tests/monitoring)."""
+        queue = self._queue(url)
+        if now is not None:
+            self._expire(queue, now)
+        return sum(1 for m in queue.messages if not m.deleted)

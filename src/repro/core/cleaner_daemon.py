@@ -1,0 +1,78 @@
+"""P3's cleaner daemon (§4.3.3).
+
+Temporary S3 objects belong to transactions; the commit daemon deletes
+them on commit.  If a client crashes mid-log, its transaction never
+commits and its temporaries are orphaned.  SQS garbage-collects the WAL
+messages automatically (four-day retention); the temporaries need this
+cleaner: remove any ``tmp/`` object that has not been touched for four
+days.
+
+Each temporary carries a ``created`` metadata timestamp (stamped by the
+P3 client at PUT time); the cleaner lists the ``tmp/`` prefix, HEADs each
+object, and deletes the stale ones.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.network import Request
+from repro.errors import NoSuchKeyError
+
+#: Age after which an orphaned temporary is collected (matches SQS's
+#: message retention, §4.3.3).
+DEFAULT_MAX_AGE_SECONDS = 4 * 24 * 3600.0
+
+
+class CleanerDaemon:
+    """Removes orphaned temporary objects."""
+
+    def __init__(
+        self,
+        account: CloudAccount,
+        bucket: str,
+        max_age_seconds: float = DEFAULT_MAX_AGE_SECONDS,
+        connections: int = 32,
+        charge_time: bool = False,
+    ):
+        self.account = account
+        self.bucket = bucket
+        self.max_age_seconds = max_age_seconds
+        self.connections = connections
+        self.charge_time = charge_time
+
+    def _run(self, requests: List[Request]) -> List:
+        if not requests:
+            return []
+        return self.account.scheduler.execute_batch(
+            requests, self.connections, advance_clock=self.charge_time
+        ).results
+
+    def clean(self) -> int:
+        """One cleaning pass; returns the number of temporaries removed."""
+        now = self.account.now
+        keys: List[str] = []
+        marker = ""
+        while True:
+            page, marker = self._run(
+                [self.account.s3.list_request(self.bucket, "tmp/", marker)]
+            )[0]
+            keys.extend(page)
+            if not marker:
+                break
+
+        stale: List[str] = []
+        for key in keys:
+            try:
+                head = self._run([self.account.s3.head_request(self.bucket, key)])[0]
+            except NoSuchKeyError:
+                continue
+            created = float(head.metadata.get("created", "0"))
+            if now - created > self.max_age_seconds:
+                stale.append(key)
+
+        self._run(
+            [self.account.s3.delete_request(self.bucket, key) for key in stale]
+        )
+        return len(stale)

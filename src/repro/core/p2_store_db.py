@@ -1,0 +1,115 @@
+"""Protocol P2: cloud store with a cloud database (§4.3.2).
+
+Storage scheme: each file is an S3 object; the provenance of each object
+*version* is one SimpleDB item named ``uuid_version`` whose attributes are
+the provenance records.  Values over SimpleDB's 1 KB limit are stored as
+separate S3 objects referenced by pointer.  The data object's metadata
+carries the uuid and current version, as in P1.
+
+Flush, per the paper:
+
+1. Spill any values larger than 1 KB to S3 and rewrite them as pointers.
+2. Store the provenance via ``BatchPutAttributes`` (≤ 25 items per call).
+3. PUT the data object with metadata naming the provenance and version.
+
+Properties: efficient query (SimpleDB indexes every attribute) but still
+no data-coupling — the SimpleDB writes and the S3 data write are separate,
+non-atomic requests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloud.network import Request
+from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
+
+from repro.core.protocol_base import (
+    PROVENANCE_DOMAIN,
+    FlushWork,
+    StorageProtocol,
+    UploadMode,
+    data_key,
+)
+from repro.core.sdb_items import build_item_plan
+
+
+class ProtocolP2(StorageProtocol):
+    """P2 — data in S3, provenance in SimpleDB."""
+
+    name = "p2"
+    supports_efficient_query = True
+
+    def __init__(self, *args, domain: str = PROVENANCE_DOMAIN, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.domain = domain
+        self.account.simpledb.create_domain(domain)
+
+    def flush(self, work: FlushWork) -> None:
+        bundles = self._bundles_with_coupling(work)
+        plan = build_item_plan(bundles, self.account.s3, self.bucket)
+        batch_requests = [
+            self.account.simpledb.batch_put_request(self.domain, batch)
+            for batch in plan.batches()
+        ]
+        data_requests = self._data_requests(work) if work.include_data else []
+        self.charge_prov_cpu(len(plan.spill_requests) + len(batch_requests))
+        self.charge_prov_items(sum(len(pairs) for _, pairs in plan.items))
+
+        if self.mode is UploadMode.PARALLEL:
+            self._dispatch(plan.spill_requests + batch_requests + data_requests)
+            self.account.faults.crash_point("p2.after_prov_put")
+        else:
+            ancestor_requests = data_requests[1:]
+            self.account.scheduler.execute_batch(ancestor_requests, self.connections)
+            self.account.scheduler.execute_batch(
+                plan.spill_requests, self.connections
+            )
+            for request in batch_requests:
+                self.account.scheduler.execute_one(request)
+            self.account.faults.crash_point("p2.after_prov_put")
+            self.account.scheduler.execute_batch(data_requests[:1], self.connections)
+
+        self._mark_provenance_stored(work.bundles)
+        if work.include_data:
+            self._mark_data_stored(work.primary)
+            for intent in work.ancestor_data:
+                self._mark_data_stored(intent)
+        self.account.faults.crash_point("p2.after_data_put")
+
+    def _bundles_with_coupling(self, work: FlushWork) -> List[ProvenanceBundle]:
+        """Append the coupling records (object name + content hash) to the
+        primary object's bundle."""
+        out: List[ProvenanceBundle] = []
+        for bundle in work.bundles:
+            if bundle.uuid == work.primary.uuid:
+                enriched = ProvenanceBundle(uuid=bundle.uuid)
+                for record in bundle.records:
+                    enriched.add(record)
+                for record in self.coupling_records(work.primary):
+                    enriched.add(record)
+                out.append(enriched)
+            else:
+                out.append(bundle)
+        return out
+
+    def _data_requests(self, work: FlushWork) -> List[Request]:
+        """Primary data PUT first, then any unrecorded ancestor data."""
+        requests = [
+            self.account.s3.put_request(
+                self.bucket,
+                data_key(work.primary.path),
+                work.primary.blob,
+                self.data_metadata(work.primary),
+            )
+        ]
+        for intent in work.ancestor_data:
+            requests.append(
+                self.account.s3.put_request(
+                    self.bucket,
+                    data_key(intent.path),
+                    intent.blob,
+                    self.data_metadata(intent),
+                )
+            )
+        return requests

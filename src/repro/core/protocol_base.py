@@ -1,0 +1,210 @@
+"""Common protocol machinery.
+
+All three protocols share:
+
+- the *flush work unit*: the primary object being closed, the pending
+  provenance bundles of its ancestor closure (ancestors first), and any
+  ancestor file data that has not reached the cloud yet (multi-object
+  causal ordering, §3),
+- data-object naming and the metadata link (uuid + version) between a
+  data object and its provenance (§4.3.1),
+- bookkeeping of which object versions have been stored,
+- the upload mode: ``CAUSAL`` uploads ancestors strictly before
+  descendants; ``PARALLEL`` batches everything for throughput, which —
+  as the paper notes in §5 — violates multi-object causal ordering for
+  P1 and P2 (P3 keeps it, because the whole transaction commits or
+  nothing does).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.blob import Blob
+from repro.provenance.graph import NodeRef
+from repro.provenance.pass_collector import DeleteIntent, FlushIntent
+from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
+
+#: Default bucket for data, temporaries, and provenance spill objects.
+DATA_BUCKET = "pass-data"
+
+#: SimpleDB domain for provenance items (P2, P3).
+PROVENANCE_DOMAIN = "pass-prov"
+
+
+class UploadMode(enum.Enum):
+    """How a flush's requests are issued."""
+
+    CAUSAL = "causal"
+    PARALLEL = "parallel"
+
+
+@dataclass
+class FlushWork:
+    """Everything one close/flush must persist."""
+
+    primary: FlushIntent
+    #: Pending provenance, ancestors before descendants.
+    bundles: List[ProvenanceBundle] = field(default_factory=list)
+    #: Ancestor file versions whose data is not yet in the cloud.
+    ancestor_data: List[FlushIntent] = field(default_factory=list)
+    #: When false, only provenance is uploaded (the microbenchmark tool
+    #: replays every flush's provenance but uploads each data object once,
+    #: at its final version — §5.1's "we only upload the final results").
+    include_data: bool = True
+
+
+def data_key(path: str) -> str:
+    """S3 key for a file path (one object per file, §4.3.1)."""
+    return "files/" + path.lstrip("/")
+
+
+def provenance_object_key(uuid: str) -> str:
+    """S3 key of a P1 provenance object (uuid-named, never deleted)."""
+    return f"prov/{uuid}"
+
+
+def spill_key(ref: NodeRef, attribute: str, index: int) -> str:
+    """S3 key for a provenance value too large for SimpleDB's 1 KB limit."""
+    return f"spill/{ref}/{attribute}/{index}"
+
+
+def temp_key(txn_id: str, ref: NodeRef) -> str:
+    """S3 key of a P3 temporary data object."""
+    return f"tmp/{txn_id}/{ref}"
+
+
+class StorageProtocol(ABC):
+    """Interface all three protocols implement.
+
+    Subclasses override :meth:`flush`; reading and deleting data follow
+    identical S3 paths in all protocols and live here.
+    """
+
+    #: Short protocol name ("p1", "p2", "p3"); set by subclasses.
+    name: str = "base"
+
+    #: Whether provenance can be queried by attribute without a full scan
+    #: (the efficient-query property, Table 1).
+    supports_efficient_query: bool = False
+
+    def __init__(
+        self,
+        account: CloudAccount,
+        mode: UploadMode = UploadMode.PARALLEL,
+        connections: int = 32,
+        bucket: str = DATA_BUCKET,
+    ):
+        self.account = account
+        self.mode = mode
+        self.connections = connections
+        self.bucket = bucket
+        account.s3.create_bucket(bucket)
+        #: object uuid -> set of versions whose provenance was persisted.
+        self._stored_provenance: Dict[str, Set[int]] = {}
+        #: object uuid -> latest data version persisted.
+        self._stored_data: Dict[str, int] = {}
+        #: When not None, requests are collected here instead of executed
+        #: (the microbenchmark's "upload everything in parallel" mode).
+        self._deferred: Optional[List] = None
+
+    # -- interface ----------------------------------------------------------
+
+    @abstractmethod
+    def flush(self, work: FlushWork) -> None:
+        """Persist the primary object's data and all pending provenance."""
+
+    # -- deferred execution (microbenchmark tool) ------------------------------
+
+    def begin_deferred(self) -> None:
+        """Start collecting requests instead of executing them.  Client-side
+        CPU costs are still charged; the caller executes the collected
+        requests in one large parallel batch via :meth:`end_deferred`."""
+        self._deferred = []
+
+    def end_deferred(self) -> List:
+        """Stop collecting; return the accumulated requests."""
+        requests = self._deferred or []
+        self._deferred = None
+        return requests
+
+    def _dispatch(self, requests: List) -> None:
+        """Execute a request batch now, or stash it when deferred."""
+        if not requests:
+            return
+        if self._deferred is not None:
+            self._deferred.extend(requests)
+            return
+        self.account.scheduler.execute_batch(requests, self.connections)
+
+    def charge_prov_cpu(self, request_count: int) -> None:
+        """Charge client-side CPU for preparing provenance requests (PASS
+        record extraction, DPAPI marshalling, serialization).  This work
+        is serial on the client, so it adds directly to elapsed time."""
+        env = self.account.profile.environment
+        if request_count > 0:
+            self.account.clock.advance(
+                request_count * env.prov_cpu_per_request_s * env.cpu_factor
+            )
+
+    def charge_prov_items(self, item_count: int) -> None:
+        """Charge client-side CPU for marshalling attribute-value pairs
+        into SimpleDB requests (P2's per-pair encoding cost)."""
+        env = self.account.profile.environment
+        if item_count > 0:
+            self.account.clock.advance(
+                item_count * env.prov_cpu_per_item_s * env.cpu_factor
+            )
+
+    def finalize(self) -> None:
+        """Drain any asynchronous work (P3's commit daemon); default no-op."""
+
+    def delete(self, intent: DeleteIntent) -> None:
+        """Delete a file's data object.  Provenance is *not* touched —
+        data-independent persistence (§3)."""
+        self.account.s3.delete(self.bucket, data_key(intent.path))
+        self._stored_data.pop(intent.uuid, None)
+
+    def read_data(self, path: str) -> Tuple[Blob, Dict[str, str]]:
+        """GET a data object (used by PA-S3fs on cache miss)."""
+        return self.account.s3.get(self.bucket, data_key(path))
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def provenance_stored(self, ref: NodeRef) -> bool:
+        return ref.version in self._stored_provenance.get(ref.uuid, set())
+
+    def data_stored_version(self, uuid: str) -> Optional[int]:
+        return self._stored_data.get(uuid)
+
+    def _mark_provenance_stored(self, bundles: List[ProvenanceBundle]) -> None:
+        for bundle in bundles:
+            versions = self._stored_provenance.setdefault(bundle.uuid, set())
+            versions.update(bundle.versions())
+
+    def _mark_data_stored(self, intent: FlushIntent) -> None:
+        self._stored_data[intent.uuid] = intent.ref.version
+
+    # -- shared helpers ----------------------------------------------------------
+
+    @staticmethod
+    def coupling_records(intent: FlushIntent) -> List[ProvenanceRecord]:
+        """Records binding provenance to the data it describes: the data
+        object's name and a content hash (the detection hooks of §3)."""
+        return [
+            ProvenanceRecord(intent.ref, "object", data_key(intent.path)),
+            ProvenanceRecord(intent.ref, "sha1", intent.blob.digest),
+        ]
+
+    def data_metadata(self, intent: FlushIntent) -> Dict[str, str]:
+        """Metadata stored on the data object, linking it to provenance
+        (§4.3.1: "we record a version number and the uuid")."""
+        return {
+            "prov-uuid": intent.uuid,
+            "version": str(intent.ref.version),
+            "digest": intent.blob.digest,
+        }

@@ -1,0 +1,103 @@
+"""Building SimpleDB items from provenance bundles (shared by P2 and P3).
+
+The storage scheme of §4.3.2: the provenance of one object *version* is
+one SimpleDB item named ``uuid_version``; each provenance record becomes
+an attribute-value pair (attributes are multi-valued, so repeated
+``input`` records coexist).  Values larger than SimpleDB's 1 KB limit are
+stored as separate S3 objects and replaced by a pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cloud.blob import Blob
+from repro.cloud.network import Request
+from repro.cloud.s3 import S3Service
+from repro.cloud.simpledb import ATTRIBUTE_LIMIT_BYTES, BATCH_PUT_LIMIT
+from repro.provenance.graph import NodeRef
+from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
+
+from repro.core import protocol_base
+
+#: Pointer prefix marking a spilled value.
+SPILL_POINTER_PREFIX = "s3-spill:"
+
+#: Attribute holding the pointer to overflowed records (an item may carry
+#: at most 256 attribute pairs; the paper's one-item-per-version scheme
+#: needs an escape hatch for versions with more records than that).
+OVERFLOW_ATTRIBUTE = "overflow"
+
+#: Pairs kept inline before overflowing (leaves room for the pointer).
+_INLINE_PAIR_LIMIT = 255
+
+
+@dataclass
+class ItemPlan:
+    """The SimpleDB writes (and S3 spills) for a set of bundles."""
+
+    #: SimpleDB items: (item name ``uuid_version``, [(attr, value), ...]).
+    items: List[Tuple[str, List[Tuple[str, str]]]] = field(default_factory=list)
+    #: Spill S3 PUT requests, to execute before/with the batch puts.
+    spill_requests: List[Request] = field(default_factory=list)
+
+    def batches(self) -> List[List[Tuple[str, List[Tuple[str, str]]]]]:
+        """Split items into BatchPutAttributes-sized groups (≤ 25)."""
+        return [
+            self.items[i : i + BATCH_PUT_LIMIT]
+            for i in range(0, len(self.items), BATCH_PUT_LIMIT)
+        ]
+
+
+def build_item_plan(
+    bundles: Sequence[ProvenanceBundle],
+    s3: S3Service,
+    bucket: str,
+) -> ItemPlan:
+    """Convert bundles to SimpleDB items, spilling oversized values.
+
+    The returned spill requests are not yet executed; the caller decides
+    whether they run sequentially (causal mode) or in the flush batch.
+    """
+    plan = ItemPlan()
+    for bundle in bundles:
+        for version, records in sorted(bundle.by_version().items()):
+            ref = NodeRef(bundle.uuid, version)
+            pairs: List[Tuple[str, str]] = []
+            overflow: List[ProvenanceRecord] = []
+            spill_counter = 0
+            for record in records:
+                if len(pairs) >= _INLINE_PAIR_LIMIT:
+                    overflow.append(record)
+                    continue
+                value = record.value_text()
+                if len(value.encode("utf-8")) > ATTRIBUTE_LIMIT_BYTES:
+                    key = protocol_base.spill_key(ref, record.attribute, spill_counter)
+                    spill_counter += 1
+                    plan.spill_requests.append(
+                        s3.put_request(bucket, key, Blob.from_text(value))
+                    )
+                    value = SPILL_POINTER_PREFIX + key
+                pairs.append((record.attribute, value))
+            if overflow:
+                from repro.provenance.serialization import encode_records
+
+                key = protocol_base.spill_key(ref, OVERFLOW_ATTRIBUTE, 0)
+                plan.spill_requests.append(
+                    s3.put_request(bucket, key, Blob.from_text(encode_records(overflow)))
+                )
+                pairs.append((OVERFLOW_ATTRIBUTE, SPILL_POINTER_PREFIX + key))
+            plan.items.append((str(ref), pairs))
+    return plan
+
+
+def is_spill_pointer(value: str) -> bool:
+    return value.startswith(SPILL_POINTER_PREFIX)
+
+
+def spill_pointer_key(value: str) -> str:
+    """Extract the S3 key from a spill pointer value."""
+    if not is_spill_pointer(value):
+        raise ValueError(f"not a spill pointer: {value!r}")
+    return value[len(SPILL_POINTER_PREFIX):]

@@ -1,0 +1,56 @@
+"""PASS substrate: provenance collection.
+
+The paper uses PASS (Provenance-Aware Storage Systems) — a modified Linux
+kernel that observes system calls — as its provenance *collection*
+mechanism, and contributes the protocols that *store* the collected
+provenance in the cloud.  This subpackage reimplements the collection
+side:
+
+- :mod:`repro.provenance.graph` — the provenance DAG (nodes are object
+  versions, edges are dependencies; acyclic by construction),
+- :mod:`repro.provenance.records` — provenance records and their wire
+  sizes (these byte counts drive Tables 2 and 3),
+- :mod:`repro.provenance.versioning` — causality-based versioning
+  (cycle avoidance), after Muniswamy-Reddy & Holland, FAST '09,
+- :mod:`repro.provenance.syscalls` — the simulated system-call trace
+  model that stands in for the PASS kernel's interception layer,
+- :mod:`repro.provenance.pass_collector` — turns a trace into provenance
+  bundles ready for PA-S3fs to flush,
+- :mod:`repro.provenance.serialization` — stable text encoding of
+  records for cloud storage.
+"""
+
+from repro.provenance.graph import EdgeType, NodeRef, NodeType, ProvenanceGraph
+from repro.provenance.pass_collector import FlushIntent, PassCollector
+from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
+from repro.provenance.syscalls import (
+    CloseEvent,
+    ComputeEvent,
+    FlushEvent,
+    ReadEvent,
+    SpawnEvent,
+    SyscallTrace,
+    UnlinkEvent,
+    WriteEvent,
+)
+from repro.provenance.versioning import VersionManager
+
+__all__ = [
+    "CloseEvent",
+    "ComputeEvent",
+    "EdgeType",
+    "FlushEvent",
+    "FlushIntent",
+    "NodeRef",
+    "NodeType",
+    "PassCollector",
+    "ProvenanceBundle",
+    "ProvenanceGraph",
+    "ProvenanceRecord",
+    "ReadEvent",
+    "SpawnEvent",
+    "SyscallTrace",
+    "UnlinkEvent",
+    "VersionManager",
+    "WriteEvent",
+]

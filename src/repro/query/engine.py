@@ -1,0 +1,375 @@
+"""The paper's four evaluation queries (§5.3).
+
+- **Q1** — retrieve all the provenance ever recorded,
+- **Q2** — given an object, retrieve the provenance of all its versions,
+- **Q3** — find all files directly output by a program (Blast),
+- **Q4** — find all descendants of files derived from that program.
+
+Two engines implement them against the two storage schemes:
+
+- :class:`S3QueryEngine` (P1): LIST the provenance prefix and GET every
+  object; Q3/Q4 require the *full* scan plus local processing — the
+  paper's demonstration that P1 lacks efficient query,
+- :class:`SimpleDBQueryEngine` (P2/P3): server-side ``Select`` with
+  indexed attributes; Q1 pages sequentially through next-tokens (which is
+  why it cannot be parallelized), Q3/Q4 are selective index lookups.
+
+Every query returns its answer plus :class:`QueryStats` — elapsed virtual
+seconds, bytes transferred, and operation count — the three columns of
+the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cloud.account import CloudAccount
+from repro.errors import NoSuchKeyError
+from repro.provenance.graph import NodeRef
+from repro.provenance.serialization import decode_records
+
+from repro.core.protocol_base import data_key, provenance_object_key
+from repro.core.sdb_items import OVERFLOW_ATTRIBUTE, is_spill_pointer, spill_pointer_key
+from repro.query.ancestry import ProvenanceIndex
+
+#: Chunk size for ``IN (...)`` value lists in SimpleDB selects.
+_IN_CHUNK = 20
+
+
+@dataclass
+class QueryStats:
+    """Cost of one query execution (a Table 5 row fragment)."""
+
+    elapsed_seconds: float
+    bytes_transferred: int
+    operations: int
+
+    @property
+    def mb_transferred(self) -> float:
+        return self.bytes_transferred / (1024.0 * 1024.0)
+
+
+class _Measured:
+    """Meters a query against the account's clock and billing."""
+
+    def __init__(self, account: CloudAccount):
+        self._account = account
+        self._ops = account.billing.operation_count()
+        self._bytes = (
+            account.billing.bytes_received() + account.billing.bytes_transmitted()
+        )
+        self._stopwatch = account.stopwatch()
+
+    def stats(self) -> QueryStats:
+        billing = self._account.billing
+        return QueryStats(
+            elapsed_seconds=self._stopwatch.elapsed(),
+            bytes_transferred=(
+                billing.bytes_received() + billing.bytes_transmitted() - self._bytes
+            ),
+            operations=billing.operation_count() - self._ops,
+        )
+
+
+class S3QueryEngine:
+    """Queries against P1's uuid-named provenance objects."""
+
+    def __init__(
+        self,
+        account: CloudAccount,
+        bucket: str = "pass-data",
+        parallel_connections: int = 8,
+    ):
+        self.account = account
+        self.bucket = bucket
+        self.parallel_connections = parallel_connections
+
+    # -- internals -----------------------------------------------------------
+
+    def _list_provenance_keys(self) -> List[str]:
+        return self.account.s3.list_keys(self.bucket, "prov/")
+
+    def _fetch_all(self, parallel: bool) -> ProvenanceIndex:
+        """Q1's body: GET every provenance object, build a local index."""
+        keys = self._list_provenance_keys()
+        index = ProvenanceIndex()
+        if parallel:
+            requests = [self.account.s3.get_request(self.bucket, k) for k in keys]
+            batch = self.account.scheduler.execute_batch(
+                requests, self.parallel_connections
+            )
+            payloads = batch.results
+        else:
+            payloads = [self.account.s3.get(self.bucket, key) for key in keys]
+        for blob, _meta in payloads:
+            if blob.data is not None:
+                index.ingest(decode_records(blob.text()))
+        return index
+
+    # -- the four queries ---------------------------------------------------------
+
+    def q1_all_provenance(
+        self, parallel: bool = False
+    ) -> Tuple[ProvenanceIndex, QueryStats]:
+        """Q1: dump every provenance record."""
+        window = _Measured(self.account)
+        index = self._fetch_all(parallel)
+        return index, window.stats()
+
+    def q2_object_provenance(
+        self, path: str
+    ) -> Tuple[Dict[str, List[str]], QueryStats]:
+        """Q2: all recorded provenance of one object (every version).
+
+        HEAD the data object to learn its uuid, then GET the provenance
+        object — two inherently sequential requests (§5.3).
+        """
+        window = _Measured(self.account)
+        head = self.account.s3.head(self.bucket, data_key(path))
+        uuid = head.metadata.get("prov-uuid", "")
+        attributes: Dict[str, List[str]] = {}
+        if uuid:
+            try:
+                blob, _ = self.account.s3.get(
+                    self.bucket, provenance_object_key(uuid)
+                )
+            except NoSuchKeyError:
+                blob = None
+            if blob is not None and blob.data is not None:
+                for record in decode_records(blob.text()):
+                    attributes.setdefault(record.attribute, []).append(
+                        record.value_text()
+                    )
+        return attributes, window.stats()
+
+    def q3_direct_outputs(
+        self, program: str, parallel: bool = False
+    ) -> Tuple[List[NodeRef], QueryStats]:
+        """Q3: files directly output by ``program`` — a full scan plus
+        local filtering (S3 cannot look up by attribute)."""
+        window = _Measured(self.account)
+        index = self._fetch_all(parallel)
+        outputs = self._direct_outputs_local(index, program)
+        return sorted(outputs), window.stats()
+
+    def q4_all_descendants(
+        self, program: str, parallel: bool = False
+    ) -> Tuple[List[NodeRef], QueryStats]:
+        """Q4: the full descendant closure of files derived from
+        ``program`` — same scan, deeper local traversal."""
+        window = _Measured(self.account)
+        index = self._fetch_all(parallel)
+        outputs = self._direct_outputs_local(index, program)
+        descendants: Set[NodeRef] = set(outputs)
+        for ref in outputs:
+            descendants |= index.descendants(ref)
+        return sorted(descendants), window.stats()
+
+    @staticmethod
+    def _direct_outputs_local(index: ProvenanceIndex, program: str) -> Set[NodeRef]:
+        procs = {
+            ref
+            for ref in index.find("name", program)
+            if "proc" in index.attributes(ref).get("type", [])
+        }
+        outputs: Set[NodeRef] = set()
+        for proc in procs:
+            for dependent in index.direct_dependents(proc):
+                if "file" in index.attributes(dependent).get("type", []):
+                    outputs.add(dependent)
+        return outputs
+
+
+class SimpleDBQueryEngine:
+    """Queries against P2/P3's SimpleDB items."""
+
+    def __init__(
+        self,
+        account: CloudAccount,
+        domain: str = "pass-prov",
+        bucket: str = "pass-data",
+        parallel_connections: int = 8,
+    ):
+        self.account = account
+        self.domain = domain
+        self.bucket = bucket
+        self.parallel_connections = parallel_connections
+
+    # -- internals ------------------------------------------------------------
+
+    def _rows_to_index(self, rows) -> ProvenanceIndex:
+        index = ProvenanceIndex()
+        for name, attributes in rows:
+            try:
+                ref = NodeRef.parse(name)
+            except ValueError:
+                continue
+            index.ingest_attribute_map(ref, self._resolve(attributes))
+        return index
+
+    def _resolve(self, attributes: Dict[str, List[str]]) -> Dict[str, List[str]]:
+        """Fetch spilled values / overflow records back from S3."""
+        resolved: Dict[str, List[str]] = {}
+        for attribute, values in attributes.items():
+            if attribute == OVERFLOW_ATTRIBUTE:
+                for value in values:
+                    if not is_spill_pointer(value):
+                        continue
+                    try:
+                        blob, _ = self.account.s3.get(
+                            self.bucket, spill_pointer_key(value)
+                        )
+                    except NoSuchKeyError:
+                        continue
+                    if blob.data is not None:
+                        for record in decode_records(blob.text()):
+                            resolved.setdefault(record.attribute, []).append(
+                                record.value_text()
+                            )
+                continue
+            out = []
+            for value in values:
+                if is_spill_pointer(value):
+                    try:
+                        blob, _ = self.account.s3.get(
+                            self.bucket, spill_pointer_key(value)
+                        )
+                        out.append(
+                            blob.text() if blob.data is not None else value
+                        )
+                    except NoSuchKeyError:
+                        out.append(value)
+                else:
+                    out.append(value)
+            resolved.setdefault(attribute, []).extend(out)
+        return resolved
+
+    def _select_procs_named(self, program: str) -> List[NodeRef]:
+        rows = self.account.simpledb.select(
+            f"select * from {self.domain} where name = '{program}' and type = 'proc'"
+        )
+        return [NodeRef.parse(name) for name, _ in rows]
+
+    def _select_referencing(
+        self, attribute: str, targets: Sequence[NodeRef], parallel: bool
+    ) -> List[Tuple[str, Dict[str, List[str]]]]:
+        """All items whose ``attribute`` references any of ``targets``,
+        issued as chunked ``IN`` selects (parallelizable — each chunk is
+        independent, unlike Q1's next-token chain)."""
+        chunks = [
+            list(targets[i : i + _IN_CHUNK])
+            for i in range(0, len(targets), _IN_CHUNK)
+        ]
+        expressions = [
+            "select * from {} where {} in ({})".format(
+                self.domain,
+                attribute,
+                ", ".join(f"'{ref}'" for ref in chunk),
+            )
+            for chunk in chunks
+        ]
+        rows: List[Tuple[str, Dict[str, List[str]]]] = []
+        if parallel:
+            requests = [
+                self.account.simpledb.select_request(expr) for expr in expressions
+            ]
+            batch = self.account.scheduler.execute_batch(
+                requests, self.parallel_connections
+            )
+            pages = batch.results
+            for page in pages:
+                rows.extend(page.rows)
+                token = page.next_token
+                expr_index = pages.index(page)
+                while token:
+                    next_page = self.account.scheduler.execute_one(
+                        self.account.simpledb.select_request(
+                            expressions[expr_index], token
+                        )
+                    )
+                    rows.extend(next_page.rows)
+                    token = next_page.next_token
+        else:
+            for expr in expressions:
+                rows.extend(self.account.simpledb.select(expr))
+        return rows
+
+    # -- the four queries ------------------------------------------------------------
+
+    def q1_all_provenance(
+        self, parallel: bool = False
+    ) -> Tuple[ProvenanceIndex, QueryStats]:
+        """Q1: ``SELECT *`` paged to completion.  The next-token chain is
+        inherently sequential, so ``parallel`` changes nothing (§5.3
+        reports no parallel number for SimpleDB Q1)."""
+        del parallel
+        window = _Measured(self.account)
+        rows = self.account.simpledb.select(f"select * from {self.domain}")
+        index = self._rows_to_index(rows)
+        return index, window.stats()
+
+    def q2_object_provenance(
+        self, path: str
+    ) -> Tuple[Dict[str, List[str]], QueryStats]:
+        """Q2: HEAD the object for its uuid, then select its items."""
+        window = _Measured(self.account)
+        head = self.account.s3.head(self.bucket, data_key(path))
+        uuid = head.metadata.get("prov-uuid", "")
+        merged: Dict[str, List[str]] = {}
+        if uuid:
+            rows = self.account.simpledb.select(
+                f"select * from {self.domain} where itemName() like '{uuid}_%'"
+            )
+            for _name, attributes in rows:
+                for attribute, values in self._resolve(attributes).items():
+                    merged.setdefault(attribute, []).extend(values)
+        return merged, window.stats()
+
+    def q3_direct_outputs(
+        self, program: str, parallel: bool = False
+    ) -> Tuple[List[NodeRef], QueryStats]:
+        """Q3: select the program's process items, then select the file
+        items referencing them — two indexed lookups."""
+        window = _Measured(self.account)
+        procs = self._select_procs_named(program)
+        outputs: Set[NodeRef] = set()
+        if procs:
+            for name, attributes in self._select_referencing(
+                "input", procs, parallel
+            ):
+                if "file" in attributes.get("type", []):
+                    outputs.add(NodeRef.parse(name))
+        return sorted(outputs), window.stats()
+
+    def q4_all_descendants(
+        self, program: str, parallel: bool = False
+    ) -> Tuple[List[NodeRef], QueryStats]:
+        """Q4: repeat Q3's reference lookup recursively until the full
+        descendant closure is found (§5.3)."""
+        window = _Measured(self.account)
+        frontier = self._select_procs_named(program)
+        seen: Set[NodeRef] = set()
+        results: Set[NodeRef] = set()
+        while frontier:
+            rows = self._select_referencing("input", frontier, parallel)
+            next_frontier: List[NodeRef] = []
+            for name, _attributes in rows:
+                ref = NodeRef.parse(name)
+                if ref in seen:
+                    continue
+                seen.add(ref)
+                results.add(ref)
+                next_frontier.append(ref)
+            frontier = next_frontier
+        return sorted(results), window.stats()
+
+
+def query_engine_for(protocol_name: str, account: CloudAccount, **kwargs):
+    """Engine matching a protocol's provenance backend (P1 → S3;
+    P2/P3 → SimpleDB)."""
+    if protocol_name == "p1":
+        return S3QueryEngine(account, **kwargs)
+    if protocol_name in ("p2", "p3"):
+        return SimpleDBQueryEngine(account, **kwargs)
+    raise ValueError(f"no query backend for protocol {protocol_name!r}")

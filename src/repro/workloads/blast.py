@@ -1,0 +1,148 @@
+"""Blast workload (§5): the typical NIH Blast job.
+
+Blast finds protein sequences closely related across two species.  The
+pipeline, per query batch (job):
+
+1. ``formatdb`` formats the query batch into a search-ready file,
+2. ``blastall`` scans the (local) protein database for every query —
+   the memory-hungry phase that thrashes under UML's 512 MB guest —
+   appending raw hits and emitting periodic checkpoint chunks,
+3. ``sorthits`` merges and sorts the raw output,
+4. ``filterhits`` applies the e-value cutoff,
+5. ``report`` renders HTML + XML reports.
+
+Shape targets from the paper: provenance depth ~5, a compute/IO mix with
+~650 s of native compute (1322 s under UML), ~700 MB of final output, and
+a provenance stream of ~10 k node-versions (blastall's read-query/
+write-hit cycle re-versions the process per query — these per-version
+SimpleDB items are what makes P2 the slowest protocol in Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.provenance.syscalls import TraceBuilder
+from repro.workloads.base import MOUNT, Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_blast_workload(
+    jobs: int = 28,
+    queries_per_job: int = 600,
+    chunk_count: int = 5,
+    raw_hits_bytes: int = 8 * MB,
+) -> Workload:
+    """Build the Blast trace.
+
+    Args:
+        jobs: query batches (each is one full pipeline run).
+        queries_per_job: queries blastall processes per batch; each query
+            is a read-compute-write cycle that re-versions the process.
+        chunk_count: checkpoint chunk files blastall writes per job.
+        raw_hits_bytes: size of the raw hit file per job.
+    """
+    builder = TraceBuilder()
+    staged = {f"{MOUNT}shared/blosum62.matrix": 16 * KB}
+    compute_per_query = 18.0 / queries_per_job  # 18 s memory-bound per job
+
+    scheduler = builder.spawn(
+        "blast-batch.sh",
+        argv=["blast-batch.sh", f"--jobs={jobs}"],
+        exec_path="/usr/local/bin/blast-batch.sh",
+    )
+
+    for job in range(jobs):
+        prefix = f"{MOUNT}blast/job-{job:03d}"
+
+        fmt = builder.spawn(
+            "formatdb",
+            argv=["formatdb", "-i", f"batch-{job}.fasta"],
+            parent_pid=scheduler,
+            exec_path="/usr/bin/formatdb",
+        )
+        builder.read(fmt, f"/local/queries/batch-{job:03d}.fasta", 2 * MB)
+        builder.compute(fmt, 1.5)
+        builder.write_close(fmt, f"{prefix}/query.fmt", 1 * MB)
+        builder.exit(fmt)
+
+        blast = builder.spawn(
+            "blastall",
+            argv=["blastall", "-p", "blastp", "-d", "nr", "-e", "1e-5"],
+            env=(("BLASTDB", "/local/db"), ("BLASTMAT", "/local/matrices")),
+            parent_pid=scheduler,
+            exec_path="/usr/bin/blastall",
+        )
+        builder.read(blast, f"{prefix}/query.fmt", 1 * MB)
+        builder.read(blast, f"{MOUNT}shared/blosum62.matrix", 16 * KB)
+        builder.read(blast, "/local/db/nr.pal", 200 * MB)
+
+        raw = f"{prefix}/raw.hits"
+        chunk_every = max(1, queries_per_job // chunk_count)
+        for query in range(queries_per_job):
+            # One query: read the next sequence from the batch file,
+            # search (memory-bound), append the hit.  The read-after-write
+            # cycle re-versions the process — the per-version provenance
+            # items that dominate P2's SimpleDB traffic.
+            builder.read(blast, f"/local/queries/batch-{job:03d}.fasta", 4 * KB)
+            builder.compute(blast, compute_per_query, memory_bound=True)
+            grown = raw_hits_bytes * (query + 1) // queries_per_job
+            builder.write(blast, raw, max(grown, 1))
+            if (query + 1) % chunk_every == 0:
+                chunk_index = (query + 1) // chunk_every - 1
+                if chunk_index < chunk_count:
+                    builder.write_close(
+                        blast, f"{prefix}/chunk-{chunk_index}.out", 300 * KB
+                    )
+                    # Checkpoint the raw hits too; the flush freezes the
+                    # version, so later appends start a new one.
+                    builder.flush(blast, raw)
+        builder.close(blast, raw)
+        builder.exit(blast)
+
+        sort = builder.spawn(
+            "sorthits",
+            argv=["sorthits", raw],
+            parent_pid=scheduler,
+            exec_path="/usr/bin/sorthits",
+        )
+        builder.read(sort, raw, raw_hits_bytes)
+        for chunk_index in range(chunk_count):
+            builder.read(sort, f"{prefix}/chunk-{chunk_index}.out", 300 * KB)
+        builder.compute(sort, 1.0)
+        builder.write_close(sort, f"{prefix}/sorted.hits", raw_hits_bytes)
+        builder.exit(sort)
+
+        filt = builder.spawn(
+            "filterhits",
+            argv=["filterhits", "--evalue", "1e-5"],
+            parent_pid=scheduler,
+            exec_path="/usr/bin/filterhits",
+        )
+        builder.read(filt, f"{prefix}/sorted.hits", raw_hits_bytes)
+        builder.compute(filt, 0.8)
+        builder.write_close(filt, f"{prefix}/filtered.hits", 5 * MB)
+        builder.exit(filt)
+
+        report = builder.spawn(
+            "blastreport",
+            argv=["blastreport", "--format", "html+xml"],
+            parent_pid=scheduler,
+            exec_path="/usr/bin/blastreport",
+        )
+        builder.read(report, f"{prefix}/filtered.hits", 5 * MB)
+        builder.compute(report, 0.7)
+        builder.write_close(report, f"{prefix}/report.html", 1536 * KB)
+        builder.write_close(report, f"{prefix}/report.xml", 1 * MB)
+        builder.exit(report)
+
+    builder.exit(scheduler)
+    return Workload(
+        name="blast",
+        trace=builder.trace,
+        staged_inputs=staged,
+        description=(
+            f"{jobs} Blast jobs x {queries_per_job} queries "
+            "(formatdb | blastall | sort | filter | report)"
+        ),
+    )

@@ -1,0 +1,133 @@
+"""The First Provenance Challenge workload (§5): fMRI image processing.
+
+The challenge pipeline, per subject session:
+
+1. ``align_warp`` (×4): normalize each new brain image against the
+   reference image, producing a warp,
+2. ``reslice`` (×4): transform each image using its warp,
+3. ``softmean``: average the resliced images into one atlas,
+4. ``slicer`` (×3): slice the atlas along each of three dimensions,
+5. ``convert`` (×3): render each slice as a graphical atlas image.
+
+Shape targets from the paper: the deepest provenance graph of the three
+workloads (maximum path length ~11: image → align_warp → warp → reslice →
+resliced → softmean → atlas → slicer → slice → convert → graphic), a mix
+of compute and I/O, and a few thousand operations.
+"""
+
+from __future__ import annotations
+
+from repro.provenance.syscalls import TraceBuilder
+from repro.workloads.base import MOUNT, Workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_challenge_workload(
+    sessions: int = 25,
+    images_per_session: int = 4,
+) -> Workload:
+    """Build the Provenance Challenge trace.
+
+    Args:
+        sessions: independent subject sessions run through the pipeline.
+        images_per_session: new brain images per session (paper: 4,
+            plus one shared reference image).
+    """
+    builder = TraceBuilder()
+    driver = builder.spawn(
+        "challenge.sh",
+        argv=["challenge.sh", f"--sessions={sessions}"],
+        exec_path="/usr/local/bin/challenge.sh",
+    )
+
+    for session in range(sessions):
+        prefix = f"{MOUNT}fmri/session-{session:03d}"
+        reference = "/local/fmri/reference.img"
+
+        resliced = []
+        for image in range(images_per_session):
+            anatomy = f"/local/fmri/s{session:03d}/anatomy-{image}.img"
+            warp = f"{prefix}/warp-{image}.warp"
+
+            align = builder.spawn(
+                "align_warp",
+                argv=["align_warp", anatomy, reference, warp, "-m", "12"],
+                parent_pid=driver,
+                exec_path="/usr/bin/align_warp",
+            )
+            builder.read(align, anatomy, 4 * MB)
+            builder.read(align, anatomy.replace(".img", ".hdr"), 1 * KB)
+            builder.read(align, reference, 4 * MB)
+            builder.compute(align, 1.2)
+            builder.write_close(align, warp, 200 * KB)
+            builder.exit(align)
+
+            res = builder.spawn(
+                "reslice",
+                argv=["reslice", warp, f"resliced-{image}"],
+                parent_pid=driver,
+                exec_path="/usr/bin/reslice",
+            )
+            builder.read(res, warp, 200 * KB)
+            builder.compute(res, 0.8)
+            img = f"{prefix}/resliced-{image}.img"
+            hdr = f"{prefix}/resliced-{image}.hdr"
+            builder.write_close(res, img, 2 * MB)
+            builder.write_close(res, hdr, 1 * KB)
+            builder.exit(res)
+            resliced.append((img, hdr))
+
+        softmean = builder.spawn(
+            "softmean",
+            argv=["softmean", "atlas", "y", "null"]
+            + [img for img, _ in resliced],
+            parent_pid=driver,
+            exec_path="/usr/bin/softmean",
+        )
+        for img, hdr in resliced:
+            builder.read(softmean, img, 2 * MB)
+            builder.read(softmean, hdr, 1 * KB)
+        builder.compute(softmean, 1.6)
+        atlas_img = f"{prefix}/atlas.img"
+        atlas_hdr = f"{prefix}/atlas.hdr"
+        builder.write_close(softmean, atlas_img, 2 * MB)
+        builder.write_close(softmean, atlas_hdr, 1 * KB)
+        builder.exit(softmean)
+
+        for axis in ("x", "y", "z"):
+            slicer = builder.spawn(
+                "slicer",
+                argv=["slicer", atlas_img, f"-{axis}", ".5", f"atlas-{axis}.pgm"],
+                parent_pid=driver,
+                exec_path="/usr/bin/slicer",
+            )
+            builder.read(slicer, atlas_img, 2 * MB)
+            builder.read(slicer, atlas_hdr, 1 * KB)
+            builder.compute(slicer, 0.4)
+            slice_path = f"{prefix}/atlas-{axis}.pgm"
+            builder.write_close(slicer, slice_path, 500 * KB)
+            builder.exit(slicer)
+
+            convert = builder.spawn(
+                "convert",
+                argv=["convert", slice_path, f"atlas-{axis}.gif"],
+                parent_pid=driver,
+                exec_path="/usr/bin/convert",
+            )
+            builder.read(convert, slice_path, 500 * KB)
+            builder.compute(convert, 0.3)
+            builder.write_close(convert, f"{prefix}/atlas-{axis}.gif", 300 * KB)
+            builder.exit(convert)
+
+    builder.exit(driver)
+    return Workload(
+        name="challenge",
+        trace=builder.trace,
+        staged_inputs={},
+        description=(
+            f"{sessions} fMRI sessions through the First Provenance "
+            "Challenge pipeline (align_warp | reslice | softmean | slicer | convert)"
+        ),
+    )

@@ -1,0 +1,75 @@
+"""CVSROOT nightly backup workload (§5).
+
+Simulates nightly backups of a CVS repository: for each of 30 nights,
+``tar`` packs that night's snapshot of the (local) repository into a
+tarball on the S3fs mount, then ``md5sum`` writes a checksum and the
+backup script appends a log entry.
+
+Shape targets from the paper: a nearly flat provenance tree (the archiver
+process is the only interesting ancestor), negligible compute, I/O-bound
+(the tarballs dominate), and a few hundred S3 operations.
+"""
+
+from __future__ import annotations
+
+from repro.provenance.syscalls import TraceBuilder
+from repro.workloads.base import MOUNT, Workload
+
+MB = 1024 * 1024
+
+
+def make_nightly_workload(
+    nights: int = 30,
+    tarball_bytes: int = 100 * MB,
+    repo_growth_bytes: int = 512 * 1024,
+) -> Workload:
+    """Build the nightly-backup trace.
+
+    Args:
+        nights: number of nightly snapshots (paper: 30).
+        tarball_bytes: size of the first night's tarball; the repository
+            grows a little every night.
+        repo_growth_bytes: per-night growth of the repository.
+    """
+    builder = TraceBuilder()
+    shell = builder.spawn(
+        "backup.sh", argv=["backup.sh", "--nightly"], exec_path="/usr/local/bin/backup.sh"
+    )
+    for night in range(nights):
+        size = tarball_bytes + night * repo_growth_bytes
+        tarball = f"{MOUNT}backups/cvs-{night:02d}.tar.gz"
+
+        tar = builder.spawn(
+            "tar",
+            argv=["tar", "czf", tarball, f"/repo/cvsroot"],
+            parent_pid=shell,
+            exec_path="/bin/tar",
+        )
+        # The repository lives on local disk: provenance is tracked, but
+        # no cloud traffic results from these reads.
+        builder.read(tar, f"/repo/cvsroot/snapshot-{night:02d}", size)
+        builder.compute(tar, 0.4)
+        builder.write_close(tar, tarball, size)
+        builder.exit(tar)
+
+        md5 = builder.spawn(
+            "md5sum", argv=["md5sum", tarball], parent_pid=shell, exec_path="/usr/bin/md5sum"
+        )
+        builder.read(md5, tarball, size)
+        builder.compute(md5, 0.1)
+        builder.write_close(md5, f"{MOUNT}backups/cvs-{night:02d}.md5", 64)
+        builder.exit(md5)
+
+        builder.write(shell, f"{MOUNT}backups/backup-{night:02d}.log", 10 * 1024)
+        builder.close(shell, f"{MOUNT}backups/backup-{night:02d}.log")
+    builder.exit(shell)
+
+    return Workload(
+        name="nightly",
+        trace=builder.trace,
+        staged_inputs={},
+        description=(
+            f"{nights} nightly CVS snapshot tarballs "
+            f"(~{tarball_bytes // MB} MB each) with checksums and logs"
+        ),
+    )

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.consistency import ConsistencyModel
+
+
+@pytest.fixture
+def account():
+    """An eventually consistent cloud account with a fixed seed."""
+    return CloudAccount(seed=1234)
+
+
+@pytest.fixture
+def strict_account():
+    """A strictly consistent account (Azure-style), for tests that need
+    read-your-writes without settle calls."""
+    return CloudAccount(consistency=ConsistencyModel.STRICT, seed=1234)
+
+
+@pytest.fixture
+def bucket(strict_account):
+    strict_account.s3.create_bucket("t")
+    return "t"

@@ -1,0 +1,120 @@
+"""Tests for the billing meter, price book, and fault injection."""
+
+import pytest
+
+from repro.cloud.billing import GB, BillingMeter, PriceBook
+from repro.cloud.faults import FaultPlan
+from repro.errors import ClientCrashError
+
+
+class TestBillingMeter:
+    def test_s3_request_pricing(self):
+        meter = BillingMeter()
+        for _ in range(1000):
+            meter.record("s3", "PUT")
+        assert meter.cost() == pytest.approx(0.01)
+
+    def test_s3_get_cheaper_than_put(self):
+        puts = BillingMeter()
+        gets = BillingMeter()
+        for _ in range(10000):
+            puts.record("s3", "PUT")
+            gets.record("s3", "GET")
+        assert gets.cost() < puts.cost()
+
+    def test_transfer_pricing(self):
+        meter = BillingMeter()
+        meter.record("s3", "PUT", bytes_in=int(GB))
+        assert meter.cost() == pytest.approx(0.10 + 0.01 / 1000.0)
+
+    def test_storage_and_instance_components(self):
+        meter = BillingMeter()
+        cost = meter.cost(stored_gb_month=2.0, instance_hours=3.0)
+        assert cost == pytest.approx(2.0 * 0.15 + 3.0 * 0.17)
+
+    def test_sqs_pricing(self):
+        meter = BillingMeter()
+        for _ in range(10000):
+            meter.record("sqs", "SendMessage", bytes_in=100)
+        expected = 0.01 + 10000 * 100 / GB * 0.10
+        assert meter.cost() == pytest.approx(expected)
+
+    def test_simpledb_box_usage(self):
+        meter = BillingMeter()
+        meter.record("simpledb", "BatchPutAttributes", items=100)
+        prices = PriceBook()
+        expected = (
+            prices.sdb_box_usage_hours_per_request
+            + 100 * prices.sdb_box_usage_hours_per_item
+        ) * prices.sdb_machine_hour
+        assert meter.cost() == pytest.approx(expected)
+
+    def test_counters(self):
+        meter = BillingMeter()
+        meter.record("s3", "PUT", bytes_in=10)
+        meter.record("s3", "GET", bytes_out=20)
+        meter.record("sqs", "SendMessage", bytes_in=5)
+        assert meter.operation_count() == 3
+        assert meter.operation_count("s3") == 2
+        assert meter.bytes_transmitted() == 15
+        assert meter.bytes_received() == 20
+
+    def test_snapshot_and_diff(self):
+        meter = BillingMeter()
+        meter.record("s3", "PUT")
+        before = meter.snapshot()
+        meter.record("s3", "PUT")
+        meter.record("sqs", "SendMessage")
+        assert meter.diff_operations(before) == 2
+
+    def test_reset(self):
+        meter = BillingMeter()
+        meter.record("s3", "PUT", bytes_in=10)
+        meter.reset()
+        assert meter.operation_count() == 0
+        assert meter.cost() == 0.0
+
+
+class TestFaultPlan:
+    def test_unarmed_point_is_silent(self):
+        plan = FaultPlan()
+        plan.crash_point("p1.after_prov_put")
+        assert plan.hits["p1.after_prov_put"] == 1
+
+    def test_armed_point_crashes(self):
+        plan = FaultPlan()
+        plan.arm_crash("x")
+        with pytest.raises(ClientCrashError) as excinfo:
+            plan.crash_point("x")
+        assert excinfo.value.crash_point == "x"
+
+    def test_crash_fires_once(self):
+        plan = FaultPlan()
+        plan.arm_crash("x")
+        with pytest.raises(ClientCrashError):
+            plan.crash_point("x")
+        # A recovered client passing the same point again survives.
+        plan.crash_point("x")
+        assert plan.fired("x")
+
+    def test_skip_counts_hits(self):
+        plan = FaultPlan()
+        plan.arm_crash("x", skip=2)
+        plan.crash_point("x")
+        plan.crash_point("x")
+        with pytest.raises(ClientCrashError):
+            plan.crash_point("x")
+
+    def test_disarm(self):
+        plan = FaultPlan()
+        plan.arm_crash("x")
+        plan.disarm("x")
+        plan.crash_point("x")
+
+    def test_disarm_all(self):
+        plan = FaultPlan()
+        plan.arm_crash("x")
+        plan.arm_crash("y")
+        plan.disarm_all()
+        plan.crash_point("x")
+        plan.crash_point("y")

@@ -1,0 +1,56 @@
+"""Tests for the blob abstraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.blob import EMPTY_BLOB, Blob
+
+
+class TestBlob:
+    def test_from_bytes(self):
+        blob = Blob.from_bytes(b"hello")
+        assert blob.size == 5
+        assert blob.data == b"hello"
+
+    def test_from_text_roundtrip(self):
+        blob = Blob.from_text("héllo")
+        assert blob.text() == "héllo"
+
+    def test_synthetic_has_no_data(self):
+        blob = Blob.synthetic(1024, "x")
+        assert blob.data is None
+        assert blob.size == 1024
+        with pytest.raises(ValueError):
+            blob.text()
+
+    def test_synthetic_identity_determines_digest(self):
+        assert Blob.synthetic(10, "a").digest == Blob.synthetic(10, "a").digest
+        assert Blob.synthetic(10, "a").digest != Blob.synthetic(10, "b").digest
+        assert Blob.synthetic(10, "a").digest != Blob.synthetic(11, "a").digest
+
+    def test_matches(self):
+        assert Blob.from_bytes(b"x").matches(Blob.from_bytes(b"x"))
+        assert not Blob.from_bytes(b"x").matches(Blob.from_bytes(b"y"))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Blob(size=-1, digest="d")
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Blob(size=3, digest="d", data=b"ab")
+
+    def test_empty_blob(self):
+        assert EMPTY_BLOB.size == 0
+        assert EMPTY_BLOB.text() == ""
+
+    @given(st.binary(max_size=256))
+    def test_from_bytes_size_and_equality(self, data):
+        blob = Blob.from_bytes(data)
+        assert blob.size == len(data)
+        assert blob.matches(Blob.from_bytes(data))
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_digest_collision_free_for_distinct_content(self, a, b):
+        if a != b:
+            assert not Blob.from_bytes(a).matches(Blob.from_bytes(b))

@@ -1,0 +1,129 @@
+"""Tests for the request scheduler: connection pools, NIC serialization,
+and the SimpleDB indexer pipeline."""
+
+import pytest
+
+from repro.cloud.clock import VirtualClock
+from repro.cloud.network import ParallelScheduler, Request
+from repro.cloud.profiles import EC2_ENV, S3_PROFILE, SIMPLEDB_PROFILE
+
+
+def _noop_request(profile=S3_PROFILE, **kwargs):
+    return Request(profile=profile, apply=lambda s, f: (s, f), **kwargs)
+
+
+@pytest.fixture
+def scheduler():
+    return ParallelScheduler(VirtualClock(), EC2_ENV)
+
+
+class TestSequential:
+    def test_execute_one_advances_clock_by_latency(self, scheduler):
+        result = scheduler.execute_one(_noop_request())
+        start, finish = result
+        assert start == 0.0
+        assert finish == pytest.approx(S3_PROFILE.request_latency_s)
+
+    def test_read_requests_pay_read_latency(self, scheduler):
+        _, finish = scheduler.execute_one(_noop_request(read_only=True))
+        assert finish == pytest.approx(S3_PROFILE.read_latency_s)
+
+    def test_transfer_time_added(self, scheduler):
+        size = 5_600_000  # one second at the EC2 NIC rate
+        _, finish = scheduler.execute_one(_noop_request(payload_bytes=size))
+        expected = S3_PROFILE.request_latency_s + size / EC2_ENV.nic_bw
+        assert finish == pytest.approx(expected, rel=1e-3)
+
+
+class TestBatch:
+    def test_empty_batch(self, scheduler):
+        result = scheduler.execute_batch([], 10)
+        assert result.results == []
+        assert result.makespan == 0.0
+
+    def test_invalid_connections(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.execute_batch([_noop_request()], 0)
+
+    def test_latency_bound_waves(self, scheduler):
+        # 40 zero-byte requests over 10 connections = 4 waves.
+        requests = [_noop_request() for _ in range(40)]
+        result = scheduler.execute_batch(requests, 10)
+        assert result.makespan == pytest.approx(4 * S3_PROFILE.request_latency_s)
+        assert result.connections_used == 10
+
+    def test_results_in_submission_order(self, scheduler):
+        values = []
+        requests = [
+            Request(profile=S3_PROFILE, apply=lambda s, f, i=i: i)
+            for i in range(25)
+        ]
+        results = scheduler.execute_batch(requests, 7).results
+        assert results == list(range(25))
+
+    def test_connection_cap_respected(self, scheduler):
+        # SimpleDB caps at 40 useful connections.
+        requests = [_noop_request(profile=SIMPLEDB_PROFILE) for _ in range(200)]
+        result = scheduler.execute_batch(requests, 150)
+        assert result.connections_used == SIMPLEDB_PROFILE.max_useful_connections
+
+    def test_nic_serializes_bytes(self, scheduler):
+        # Ten 5.6 MB uploads cannot finish faster than 10 NIC-seconds,
+        # no matter how many connections are used.
+        requests = [
+            _noop_request(payload_bytes=EC2_ENV.nic_bw) for _ in range(10)
+        ]
+        result = scheduler.execute_batch(requests, 150)
+        assert result.makespan >= 10.0
+
+    def test_indexer_serializes_items(self, scheduler):
+        # SimpleDB batch puts with many items serialize through the
+        # indexing pipeline regardless of connection count.
+        requests = [
+            _noop_request(profile=SIMPLEDB_PROFILE, items=1000) for _ in range(10)
+        ]
+        result = scheduler.execute_batch(requests, 40)
+        assert result.makespan >= 10 * 1000 * SIMPLEDB_PROFILE.per_item_s
+
+    def test_indexer_state_persists_across_batches(self, scheduler):
+        first = scheduler.execute_batch(
+            [_noop_request(profile=SIMPLEDB_PROFILE, items=5000)], 10
+        )
+        # A second batch issued immediately queues behind the pipeline.
+        second = scheduler.execute_batch(
+            [_noop_request(profile=SIMPLEDB_PROFILE, items=5000)], 10
+        )
+        assert second.finished_at > first.finished_at
+
+    def test_reset_resources_clears_backlog(self, scheduler):
+        scheduler.execute_batch(
+            [_noop_request(payload_bytes=50 * EC2_ENV.nic_bw)], 1, advance_clock=False
+        )
+        scheduler.reset_resources()
+        result = scheduler.execute_batch([_noop_request(payload_bytes=1000)], 1)
+        assert result.makespan < 1.0
+
+    def test_advance_clock_false_leaves_clock(self, scheduler):
+        clock_before = scheduler._clock.now
+        scheduler.execute_batch(
+            [_noop_request() for _ in range(5)], 2, advance_clock=False
+        )
+        assert scheduler._clock.now == clock_before
+
+    def test_estimate_matches_execute_for_uniform_batch(self, scheduler):
+        requests = [_noop_request() for _ in range(30)]
+        estimate = scheduler.estimate_batch(requests, 10)
+        actual = scheduler.execute_batch(
+            [_noop_request() for _ in range(30)], 10
+        ).makespan
+        assert estimate == pytest.approx(actual)
+
+    def test_more_connections_never_slower(self, scheduler):
+        def makespan(connections):
+            sched = ParallelScheduler(VirtualClock(), EC2_ENV)
+            return sched.execute_batch(
+                [_noop_request() for _ in range(60)], connections
+            ).makespan
+
+        times = [makespan(c) for c in (1, 2, 5, 10, 20)]
+        assert times == sorted(times, reverse=True)

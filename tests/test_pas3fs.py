@@ -1,0 +1,115 @@
+"""Tests for PA-S3fs and the plain S3fs baseline (integration)."""
+
+import pytest
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.consistency import ConsistencyModel
+from repro.cloud.profiles import SimulationProfile, UML_ENV
+from repro.core import PAS3fs, PlainS3fs, ProtocolP1, ProtocolP2, ProtocolP3
+from repro.core.pas3fs import stage_inputs
+from repro.core.protocol_base import data_key
+from repro.provenance.syscalls import TraceBuilder
+
+MOUNT = "/mnt/s3/"
+
+
+def _pipeline_trace():
+    builder = TraceBuilder()
+    pid = builder.spawn("gen", argv=["gen"], exec_path="/bin/gen")
+    builder.read(pid, "/local/in.dat", 1000)
+    builder.compute(pid, 2.0)
+    builder.write_close(pid, f"{MOUNT}out/a", 50_000)
+    pid2 = builder.spawn("xform", parent_pid=pid, exec_path="/bin/xform")
+    builder.read(pid2, f"{MOUNT}out/a", 50_000)
+    builder.write_close(pid2, f"{MOUNT}out/b", 20_000)
+    builder.unlink(pid2, f"{MOUNT}out/a")
+    return builder.trace
+
+
+class TestPlainS3fs:
+    def test_uploads_only_mount_files(self):
+        account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        result = PlainS3fs(account).run(_pipeline_trace())
+        keys = account.s3.peek_keys("pass-data")
+        assert data_key(f"{MOUNT}out/b") in keys
+        assert all("local" not in key for key in keys)
+        assert result.operations > 0
+
+    def test_compute_time_charged(self):
+        account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        result = PlainS3fs(account).run(_pipeline_trace())
+        assert result.compute_seconds == pytest.approx(2.0)
+        assert result.elapsed_seconds > 2.0
+
+    def test_uml_penalty_scales_compute(self):
+        profile = SimulationProfile().with_environment(UML_ENV)
+        account = CloudAccount(
+            profile=profile, consistency=ConsistencyModel.STRICT
+        )
+        result = PlainS3fs(account).run(_pipeline_trace())
+        assert result.compute_seconds == pytest.approx(2.0 * UML_ENV.cpu_factor)
+
+    def test_cache_prevents_reget(self):
+        account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        builder = TraceBuilder()
+        pid = builder.spawn("reader")
+        stage_inputs(account, "pass-data", {f"{MOUNT}in/x": 1000})
+        builder.read(pid, f"{MOUNT}in/x", 1000)
+        builder.read(pid, f"{MOUNT}in/x", 1000)
+        PlainS3fs(account).run(builder.trace)
+        assert account.billing.snapshot()["s3"]["GET"] == 1
+
+    def test_unlink_deletes(self):
+        account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        PlainS3fs(account).run(_pipeline_trace())
+        assert account.s3.peek_latest("pass-data", data_key(f"{MOUNT}out/a")) is None
+
+
+class TestPAS3fs:
+    @pytest.mark.parametrize("protocol_cls", [ProtocolP1, ProtocolP2, ProtocolP3])
+    def test_end_to_end_stores_data_and_provenance(self, protocol_cls):
+        account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        protocol = protocol_cls(account)
+        fs = PAS3fs(account, protocol)
+        result = fs.run(_pipeline_trace())
+        fs.finalize()
+        account.settle(300.0)
+        blob, metadata = protocol.read_data(f"{MOUNT}out/b")
+        assert blob.size == 20_000
+        assert "prov-uuid" in metadata
+        assert result.elapsed_seconds > 0
+
+    def test_provenance_survives_unlink(self):
+        account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        protocol = ProtocolP1(account)
+        fs = PAS3fs(account, protocol)
+        fs.run(_pipeline_trace())
+        uuid_a = fs.collector.file_uuid(f"{MOUNT}out/a")
+        from repro.core.protocol_base import provenance_object_key
+
+        assert account.s3.peek_latest("pass-data", data_key(f"{MOUNT}out/a")) is None
+        assert (
+            account.s3.peek_latest("pass-data", provenance_object_key(uuid_a))
+            is not None
+        )
+        assert fs.deleted_paths == [f"{MOUNT}out/a"]
+
+    def test_local_files_contribute_provenance_not_data(self):
+        account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        protocol = ProtocolP2(account)
+        fs = PAS3fs(account, protocol)
+        fs.run(_pipeline_trace())
+        # No data object for the local input...
+        assert account.s3.peek_latest("pass-data", data_key("/local/in.dat")) is None
+        # ...but its provenance item exists (ancestor closure).
+        uuid = fs.collector.file_uuid("/local/in.dat")
+        assert account.simpledb.peek_item(protocol.domain, f"{uuid}_0")
+
+    def test_protocol_costs_more_than_baseline(self):
+        baseline_account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        baseline = PlainS3fs(baseline_account).run(_pipeline_trace())
+        protocol_account = CloudAccount(consistency=ConsistencyModel.STRICT)
+        fs = PAS3fs(protocol_account, ProtocolP1(protocol_account))
+        result = fs.run(_pipeline_trace())
+        assert result.operations > baseline.operations
+        assert result.elapsed_seconds >= baseline.elapsed_seconds

@@ -1,0 +1,166 @@
+"""Tests for the simulated S3 service."""
+
+import pytest
+
+from repro.cloud.blob import Blob
+from repro.errors import LimitExceededError, NoSuchBucketError, NoSuchKeyError
+
+
+class TestBasicOperations:
+    def test_put_get_roundtrip(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "k", Blob.from_text("content"), {"m": "1"})
+        blob, metadata = s3.get(bucket, "k")
+        assert blob.text() == "content"
+        assert metadata == {"m": "1"}
+
+    def test_put_overwrites_data_and_metadata_atomically(
+        self, strict_account, bucket
+    ):
+        s3 = strict_account.s3
+        s3.put(bucket, "k", Blob.from_text("v1"), {"version": "1"})
+        s3.put(bucket, "k", Blob.from_text("v2"), {"version": "2"})
+        blob, metadata = s3.get(bucket, "k")
+        assert blob.text() == "v2"
+        assert metadata == {"version": "2"}
+
+    def test_get_missing_key(self, strict_account, bucket):
+        with pytest.raises(NoSuchKeyError):
+            strict_account.s3.get(bucket, "missing")
+
+    def test_missing_bucket(self, strict_account):
+        with pytest.raises(NoSuchBucketError):
+            strict_account.s3.get("nope", "k")
+
+    def test_head_returns_metadata_and_length(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "k", Blob.from_text("12345"), {"a": "b"})
+        head = s3.head(bucket, "k")
+        assert head.metadata == {"a": "b"}
+        assert head.content_length == 5
+
+    def test_metadata_limit_enforced(self, strict_account, bucket):
+        with pytest.raises(LimitExceededError):
+            strict_account.s3.put(
+                bucket, "k", Blob.from_text("x"), {"big": "v" * 3000}
+            )
+
+    def test_empty_key_rejected(self, strict_account, bucket):
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError):
+            strict_account.s3.put(bucket, "", Blob.from_text("x"))
+
+
+class TestCopy:
+    def test_copy_carries_source_metadata(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "src", Blob.from_text("data"), {"m": "1"})
+        s3.copy(bucket, "src", bucket, "dst")
+        blob, metadata = s3.get(bucket, "dst")
+        assert blob.text() == "data"
+        assert metadata == {"m": "1"}
+
+    def test_copy_replace_metadata(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "src", Blob.from_text("data"), {"m": "1"})
+        s3.copy(bucket, "src", bucket, "dst", metadata={"version": "7"})
+        _, metadata = s3.get(bucket, "dst")
+        assert metadata == {"version": "7"}
+
+    def test_copy_missing_source(self, strict_account, bucket):
+        with pytest.raises(NoSuchKeyError):
+            strict_account.s3.copy(bucket, "ghost", bucket, "dst")
+
+    def test_copy_moves_no_client_bytes(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "src", Blob.synthetic(10_000_000, "big"))
+        before = strict_account.billing.bytes_transmitted()
+        s3.copy(bucket, "src", bucket, "dst")
+        assert strict_account.billing.bytes_transmitted() == before
+
+
+class TestDeleteAndList:
+    def test_delete_hides_object(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "k", Blob.from_text("x"))
+        s3.delete(bucket, "k")
+        with pytest.raises(NoSuchKeyError):
+            s3.get(bucket, "k")
+
+    def test_delete_missing_is_silent(self, strict_account, bucket):
+        strict_account.s3.delete(bucket, "never-existed")
+
+    def test_list_prefix_and_order(self, strict_account, bucket):
+        s3 = strict_account.s3
+        for key in ("b/2", "a/1", "b/1", "c"):
+            s3.put(bucket, key, Blob.from_text("x"))
+        assert s3.list_keys(bucket, "b/") == ["b/1", "b/2"]
+        assert s3.list_keys(bucket) == ["a/1", "b/1", "b/2", "c"]
+
+    def test_list_excludes_deleted(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "a", Blob.from_text("x"))
+        s3.put(bucket, "b", Blob.from_text("x"))
+        s3.delete(bucket, "a")
+        assert s3.list_keys(bucket) == ["b"]
+
+    def test_list_paginates(self, strict_account, bucket):
+        from repro.cloud.s3 import LIST_PAGE_SIZE
+
+        s3 = strict_account.s3
+        count = LIST_PAGE_SIZE + 5
+        for index in range(count):
+            s3.put(bucket, f"k{index:05d}", Blob.from_text("x"))
+        keys = s3.list_keys(bucket)
+        assert len(keys) == count
+        assert keys == sorted(keys)
+
+
+class TestEventualConsistency:
+    def test_get_after_put_may_miss_until_settled(self, account):
+        account.s3.create_bucket("t")
+        account.s3.put("t", "k", Blob.from_text("v"))
+        # Eventually the write is visible everywhere.
+        account.settle(120.0)
+        blob, _ = account.s3.get("t", "k")
+        assert blob.text() == "v"
+
+    def test_overwrite_can_return_stale_then_fresh(self, account):
+        account.s3.create_bucket("t")
+        account.s3.put("t", "k", Blob.from_text("old"))
+        account.settle(120.0)
+        account.s3.put("t", "k", Blob.from_text("new"))
+        observed = set()
+        for _ in range(30):
+            blob, _ = account.s3.get("t", "k")
+            observed.add(blob.text())
+            account.clock.advance(1.0)
+        assert "new" in observed  # eventually fresh
+        account.settle(120.0)
+        blob, _ = account.s3.get("t", "k")
+        assert blob.text() == "new"
+
+    def test_peek_latest_sees_through_the_window(self, account):
+        account.s3.create_bucket("t")
+        account.s3.put("t", "k", Blob.from_text("v"), {"m": "1"})
+        record = account.s3.peek_latest("t", "k")
+        assert record is not None
+        assert record.metadata == {"m": "1"}
+
+
+class TestBilling:
+    def test_operations_metered(self, strict_account, bucket):
+        s3 = strict_account.s3
+        s3.put(bucket, "k", Blob.from_text("xx"))
+        s3.get(bucket, "k")
+        s3.head(bucket, "k")
+        snapshot = strict_account.billing.snapshot()["s3"]
+        assert snapshot["PUT"] == 1
+        assert snapshot["GET"] == 1
+        assert snapshot["HEAD"] == 1
+
+    def test_failed_get_still_billed(self, strict_account, bucket):
+        with pytest.raises(NoSuchKeyError):
+            strict_account.s3.get(bucket, "missing")
+        assert strict_account.billing.snapshot()["s3"]["GET"] == 1

@@ -1,0 +1,121 @@
+"""Tests for the simulated SQS service."""
+
+import pytest
+
+from repro.cloud.sqs import MESSAGE_LIMIT_BYTES, RETENTION_SECONDS
+from repro.errors import InvalidRequestError, LimitExceededError, NoSuchQueueError
+
+
+@pytest.fixture
+def queue(strict_account):
+    return strict_account.sqs.create_queue("q")
+
+
+class TestSendReceive:
+    def test_roundtrip(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "hello")
+        messages = sqs.receive_messages(queue)
+        assert [m.body for m in messages] == ["hello"]
+
+    def test_message_limit(self, strict_account, queue):
+        with pytest.raises(LimitExceededError):
+            strict_account.sqs.send_message(queue, "x" * (MESSAGE_LIMIT_BYTES + 1))
+
+    def test_exactly_at_limit_ok(self, strict_account, queue):
+        strict_account.sqs.send_message(queue, "x" * MESSAGE_LIMIT_BYTES)
+
+    def test_empty_body_rejected(self, strict_account, queue):
+        with pytest.raises(InvalidRequestError):
+            strict_account.sqs.send_message(queue, "")
+
+    def test_missing_queue(self, strict_account):
+        with pytest.raises(NoSuchQueueError):
+            strict_account.sqs.send_message("sqs://queues/nope", "x")
+
+    def test_receive_empty_queue(self, strict_account, queue):
+        assert strict_account.sqs.receive_messages(queue) == []
+
+    def test_receive_batch_limit(self, strict_account, queue):
+        sqs = strict_account.sqs
+        for index in range(15):
+            sqs.send_message(queue, f"m{index}")
+        batch = sqs.receive_messages(queue, max_messages=10)
+        assert len(batch) == 10
+        with pytest.raises(InvalidRequestError):
+            sqs.receive_messages(queue, max_messages=11)
+
+
+class TestVisibilityTimeout:
+    def test_received_message_hidden_until_timeout(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        first = sqs.receive_messages(queue, visibility_timeout=30.0)
+        assert len(first) == 1
+        # Immediately after, the message is invisible.
+        assert sqs.receive_messages(queue) == []
+        # After the timeout it reappears (at-least-once delivery).
+        strict_account.clock.advance(40.0)
+        again = sqs.receive_messages(queue)
+        assert [m.body for m in again] == ["m"]
+        assert again[0].message_id == first[0].message_id
+        assert again[0].receipt_handle != first[0].receipt_handle
+
+    def test_delete_by_receipt(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        message = sqs.receive_messages(queue)[0]
+        sqs.delete_message(queue, message.receipt_handle)
+        strict_account.clock.advance(100.0)
+        assert sqs.receive_messages(queue) == []
+        assert sqs.pending_count(queue) == 0
+
+    def test_delete_with_stale_receipt_is_noop(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        sqs.receive_messages(queue)
+        sqs.delete_message(queue, "bogus#r1")
+        strict_account.clock.advance(100.0)
+        assert len(sqs.receive_messages(queue)) == 1
+
+
+class TestRetention:
+    def test_messages_expire_after_four_days(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "old")
+        strict_account.clock.advance(RETENTION_SECONDS + 1)
+        assert sqs.receive_messages(queue) == []
+        assert sqs.pending_count(queue, now=strict_account.now) == 0
+
+    def test_messages_survive_before_retention(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "young")
+        strict_account.clock.advance(RETENTION_SECONDS / 2)
+        assert len(sqs.receive_messages(queue)) == 1
+
+
+class TestDuplicateDelivery:
+    def test_duplicates_can_be_injected(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.duplicate_delivery_rate = 1.0
+        sqs.send_message(queue, "m")
+        messages = sqs.receive_messages(queue)
+        assert len(messages) == 2
+        assert messages[0].message_id == messages[1].message_id
+
+    def test_all_messages_eventually_delivered(self, strict_account, queue):
+        """A consume-and-delete loop drains every message exactly the way
+        the commit daemon does."""
+        sqs = strict_account.sqs
+        sent = {f"m{i}" for i in range(37)}
+        for body in sorted(sent):
+            sqs.send_message(queue, body)
+        received = set()
+        for _ in range(40):
+            messages = sqs.receive_messages(queue, visibility_timeout=5.0)
+            for message in messages:
+                received.add(message.body)
+                sqs.delete_message(queue, message.receipt_handle)
+            if not messages:
+                break
+        assert received == sent
