@@ -6,11 +6,27 @@ preserves the relative pattern.
 """
 
 from repro.bench.experiments import fig3_microbenchmark
+from repro.bench.reporting import write_bench_json
 
 
 def test_fig3_microbenchmark(once, benchmark):
     result = once(benchmark, fig3_microbenchmark)
     print("\n" + result.render())
+    write_bench_json(
+        "fig3_microbenchmark",
+        {
+            env_name: {
+                config: {
+                    "elapsed_seconds": r.elapsed_seconds,
+                    "operations": r.operations,
+                    "bytes_transmitted": r.bytes_transmitted,
+                    "cost_usd": r.cost_usd,
+                }
+                for config, r in per_config.items()
+            }
+            for env_name, per_config in result.results.items()
+        },
+    )
 
     for env_name, per_config in result.results.items():
         base = per_config["s3fs"]

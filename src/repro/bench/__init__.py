@@ -7,7 +7,14 @@ the paper-shaped text tables.  The ``benchmarks/`` directory wires these
 into pytest-benchmark.
 """
 
-from repro.bench.harness import Aggregate, repeat_with_seeds
-from repro.bench.reporting import render_series, render_table
+from repro.bench.harness import Aggregate, aggregate, repeat_with_seeds
+from repro.bench.reporting import render_series, render_table, write_bench_json
 
-__all__ = ["Aggregate", "render_series", "render_table", "repeat_with_seeds"]
+__all__ = [
+    "Aggregate",
+    "aggregate",
+    "render_series",
+    "render_table",
+    "repeat_with_seeds",
+    "write_bench_json",
+]

@@ -717,6 +717,173 @@ def ablation_connection_sweep(
     return ConnectionSweepResult(series=series)
 
 
+# ==========================================================================
+# Multi-tenant service tier — shard scaling and the query cache
+# ==========================================================================
+
+@dataclass
+class MultiTenantPoint:
+    """One shard count's measurements with the fleet held fixed."""
+
+    shards: int
+    elapsed_seconds: float
+    throughput: float
+    operations: int
+    bytes_transmitted: int
+    cost_usd: float
+    sdb_batches: int
+    sdb_batches_saved: int
+
+
+@dataclass
+class MultiTenantResult:
+    points: List[MultiTenantPoint]
+    #: Q2/Q3/Q4 answers identical across every shard count.
+    queries_match: bool
+    #: Cache behaviour on a repeated-Q2 workload at the highest shard
+    #: count: (cold ops, warm ops, hits, misses).
+    cache_cold_ops: int = 0
+    cache_warm_ops: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def render(self) -> str:
+        table = render_table(
+            (
+                "Shards", "Time (s)", "Flushes/s", "Ops", "MB sent",
+                "BatchPuts", "saved",
+            ),
+            [
+                (
+                    p.shards,
+                    f"{p.elapsed_seconds:.1f}",
+                    f"{p.throughput:.2f}",
+                    p.operations,
+                    f"{p.bytes_transmitted / (1024.0 * 1024.0):.2f}",
+                    p.sdb_batches,
+                    p.sdb_batches_saved,
+                )
+                for p in self.points
+            ],
+            title="Multi-tenant scaling: fixed fleet, growing shard count",
+        )
+        cache_line = (
+            f"query cache: cold Q2 = {self.cache_cold_ops} ops, warm Q2 = "
+            f"{self.cache_warm_ops} ops ({self.cache_hits} hits / "
+            f"{self.cache_misses} misses); shard-aware answers match: "
+            f"{self.queries_match}"
+        )
+        return table + "\n" + cache_line
+
+    def as_json(self) -> Dict[str, object]:
+        """Machine-readable form for ``write_bench_json``."""
+        return {
+            "points": [
+                {
+                    "shards": p.shards,
+                    "elapsed_seconds": p.elapsed_seconds,
+                    "throughput_flushes_per_s": p.throughput,
+                    "operations": p.operations,
+                    "bytes_transmitted": p.bytes_transmitted,
+                    "cost_usd": p.cost_usd,
+                    "sdb_batches": p.sdb_batches,
+                    "sdb_batches_saved": p.sdb_batches_saved,
+                }
+                for p in self.points
+            ],
+            "queries_match": self.queries_match,
+            "cache": {
+                "cold_ops": self.cache_cold_ops,
+                "warm_ops": self.cache_warm_ops,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+        }
+
+
+def multitenant_scaling(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    clients: int = 24,
+    files_per_client: int = 4,
+    extra_attributes: int = 48,
+    seed: int = 0,
+) -> MultiTenantResult:
+    """The service tier's scaling experiment: one fixed client fleet
+    driven through the ingest gateway at growing shard counts.
+
+    Expected shape: total commit throughput improves monotonically from
+    1 to 4 shards — SimpleDB's indexing pipeline is per-domain, so
+    spreading items over domains multiplies sustained ingest (the §5
+    domain-limit observation, turned into a design) — while Q2–Q4
+    answers through the shard-aware query path stay byte-identical to
+    the single-domain path, and a repeated Q2 hits the service cache
+    with zero cloud operations.
+    """
+    from repro.query.engine import ShardedSimpleDBQueryEngine
+    from repro.service import IngestGateway, ShardRouter
+    from repro.workloads.fleet import FLEET_PROGRAM, make_fleet, run_fleet
+
+    target_path = f"{MOUNT}fleet/c0000/f000.dat"
+    points: List[MultiTenantPoint] = []
+    answers: List[Tuple] = []
+    cache_numbers = (0, 0, 0, 0)
+
+    for shards in shard_counts:
+        account = CloudAccount(seed=seed)
+        router = ShardRouter(shards=shards)
+        gateway = IngestGateway(account, router)
+        fleet = make_fleet(
+            clients=clients,
+            files_per_client=files_per_client,
+            extra_attributes=extra_attributes,
+            seed=seed,
+        )
+        run = run_fleet(account, gateway, fleet, seed=seed)
+        account.settle(120.0)
+        points.append(
+            MultiTenantPoint(
+                shards=shards,
+                elapsed_seconds=run.elapsed_seconds,
+                throughput=run.flushes_per_second,
+                operations=run.operations,
+                bytes_transmitted=run.bytes_transmitted,
+                cost_usd=run.cost_usd,
+                sdb_batches=gateway.stats.sdb_batches,
+                sdb_batches_saved=gateway.stats.sdb_batches_saved,
+            )
+        )
+
+        engine = ShardedSimpleDBQueryEngine(account, router)
+        q2, _ = engine.q2_object_provenance(target_path)
+        q3, _ = engine.q3_direct_outputs(FLEET_PROGRAM)
+        q4, _ = engine.q4_all_descendants(FLEET_PROGRAM)
+        answers.append((q2, q3, q4))
+
+        if shards == max(shard_counts):
+            cached = gateway.query_engine()
+            ops_before = account.billing.operation_count()
+            cached.q2_object_provenance(target_path)
+            cold_ops = account.billing.operation_count() - ops_before
+            ops_before = account.billing.operation_count()
+            cached.q2_object_provenance(target_path)
+            warm_ops = account.billing.operation_count() - ops_before
+            cache_numbers = (
+                cold_ops, warm_ops, cached.stats.hits, cached.stats.misses
+            )
+
+    # repr-compare: the answers must match byte for byte, including the
+    # ordering inside multi-valued attributes, not just set-wise.
+    queries_match = all(repr(answer) == repr(answers[0]) for answer in answers[1:])
+    return MultiTenantResult(
+        points=points,
+        queries_match=queries_match,
+        cache_cold_ops=cache_numbers[0],
+        cache_warm_ops=cache_numbers[1],
+        cache_hits=cache_numbers[2],
+        cache_misses=cache_numbers[3],
+    )
+
+
 @dataclass
 class ChunkSweepResult:
     #: (chunk_bytes, elapsed seconds, message count)

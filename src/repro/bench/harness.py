@@ -26,24 +26,38 @@ class Aggregate:
 
     @property
     def error_bar(self) -> float:
-        """95 % confidence half-width (normal approximation)."""
-        if len(self.samples) < 2:
+        """95 % confidence half-width (normal approximation).
+
+        Single-sample runs (and hand-built aggregates with a non-finite
+        stddev) have no measurable spread: the half-width is exactly 0.0,
+        never NaN or a division artifact.
+        """
+        if len(self.samples) < 2 or not math.isfinite(self.stddev):
             return 0.0
         return 1.96 * self.stddev / math.sqrt(len(self.samples))
 
     def __str__(self) -> str:
         return f"{self.mean:.1f} ± {self.error_bar:.1f}"
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (feeds the ``BENCH_*.json`` reports)."""
+        return {
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "error_bar": self.error_bar,
+            "samples": list(self.samples),
+        }
+
 
 def aggregate(samples: Sequence[float]) -> Aggregate:
-    """Aggregate raw samples."""
+    """Aggregate raw samples.  A single sample aggregates to its own
+    value with stddev 0.0 (not NaN — there is no spread to estimate)."""
     if not samples:
         raise ValueError("cannot aggregate zero samples")
     mean = sum(samples) / len(samples)
-    if len(samples) > 1:
-        variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
-    else:
-        variance = 0.0
+    if len(samples) < 2:
+        return Aggregate(mean=mean, stddev=0.0, samples=list(samples))
+    variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
     return Aggregate(mean=mean, stddev=math.sqrt(variance), samples=list(samples))
 
 

@@ -1,8 +1,26 @@
-"""Plain-text rendering of paper-shaped tables and bar-chart series."""
+"""Rendering of benchmark results.
+
+Two output forms:
+
+- plain-text tables and ASCII bar series, shaped like the paper's tables
+  and figures (for humans reading the pytest output),
+- machine-readable ``BENCH_<experiment>.json`` files (for tracking the
+  performance trajectory across PRs: each benchmark dumps its headline
+  numbers — means, stddevs, operation and byte counts — into a stable
+  JSON schema that CI can diff).
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+import os
+from typing import List, Mapping, Sequence
+
+#: Environment variable overriding where BENCH_*.json files land.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: Default output directory for machine-readable results (repo-relative).
+DEFAULT_BENCH_DIR = "bench-results"
 
 
 def render_table(
@@ -38,3 +56,25 @@ def render_series(
         bar = "#" * max(1, int(width * value / peak)) if peak > 0 else ""
         lines.append(f"  {label:12s} {value:10.1f}{unit} {bar}")
     return "\n".join(lines)
+
+
+def write_bench_json(
+    experiment: str, results: Mapping[str, object], directory: str = ""
+) -> str:
+    """Write one experiment's machine-readable results.
+
+    The file lands at ``<dir>/BENCH_<experiment>.json`` where ``<dir>``
+    is, in priority order: the ``directory`` argument, the
+    ``REPRO_BENCH_DIR`` environment variable, or ``bench-results/`` under
+    the current working directory.  ``results`` must be JSON-serializable
+    (``Aggregate.as_dict()`` helps); non-serializable leaves fall back to
+    ``str``.  Returns the written path.
+    """
+    out_dir = directory or os.environ.get(BENCH_DIR_ENV, "") or DEFAULT_BENCH_DIR
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{experiment}.json")
+    payload = {"experiment": experiment, "results": results}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path

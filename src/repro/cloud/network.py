@@ -51,6 +51,11 @@ class Request:
             (SimpleDB: attribute-value pairs in a batch put).
         read_only: reads (GET/HEAD/Select/Receive) pay the service's
             ``read_latency_s`` instead of the write commit latency.
+        indexer_key: which indexing pipeline the request's items serialize
+            through.  Defaults to the service name; SimpleDB keys it per
+            *domain*, because the service's ingest ceiling is per-domain
+            (the §5 domain-limit discussion) — writes to different domains
+            index independently, which is what makes shard routing scale.
         label: free-form description, used in error messages.
     """
 
@@ -60,6 +65,7 @@ class Request:
     response_bytes: int = 0
     items: int = 0
     read_only: bool = False
+    indexer_key: Optional[str] = None
     label: str = ""
 
     def latency(self, env: EnvironmentProfile) -> float:
@@ -126,10 +132,10 @@ class ParallelScheduler:
             done = begin + transfer / rate if rate > 0 else begin
             self._nic_free_at = done
         if request.items > 0 and request.profile.per_item_s > 0:
-            service = request.profile.name
-            begin = max(done, self._indexer_free_at.get(service, 0.0))
+            pipeline = request.indexer_key or request.profile.name
+            begin = max(done, self._indexer_free_at.get(pipeline, 0.0))
             done = begin + request.items * request.profile.per_item_s
-            self._indexer_free_at[service] = done
+            self._indexer_free_at[pipeline] = done
         return done
 
     def execute_one(self, request: Request) -> Any:
@@ -216,10 +222,10 @@ class ParallelScheduler:
                 done = begin + transfer / rate if rate > 0 else begin
                 nic_free = done
             if request.items > 0 and request.profile.per_item_s > 0:
-                service = request.profile.name
-                begin = max(done, indexer_free.get(service, 0.0))
+                pipeline = request.indexer_key or request.profile.name
+                begin = max(done, indexer_free.get(pipeline, 0.0))
                 done = begin + request.items * request.profile.per_item_s
-                indexer_free[service] = done
+                indexer_free[pipeline] = done
             heapq.heappush(pool, done)
             end = max(end, done)
         return end

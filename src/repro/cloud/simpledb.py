@@ -334,6 +334,7 @@ class SimpleDBService:
             apply=apply,
             payload_bytes=payload,
             items=attr_pairs,
+            indexer_key=f"simpledb:{domain}",
             label=f"sdb.BatchPut {domain} x{item_count}",
         )
 
@@ -360,6 +361,7 @@ class SimpleDBService:
             apply=apply,
             payload_bytes=payload,
             items=len(pairs),
+            indexer_key=f"simpledb:{domain}",
             label=f"sdb.Put {domain}/{item}",
         )
 
@@ -493,7 +495,12 @@ class SimpleDBService:
             for attribute, _ in pairs:
                 current.pop(attribute, None)
         for attribute, value in pairs:
-            current.setdefault(attribute, []).append(value)
+            # An attribute's values form a set: re-putting an existing
+            # pair is a no-op, which is what makes the commit daemon's
+            # re-issued writes idempotent (§4.3.3).
+            values = current.setdefault(attribute, [])
+            if value not in values:
+                values.append(value)
         visible = self._consistency.visibility_for(committed_at)
         register.write(current, committed_at, visible)
 

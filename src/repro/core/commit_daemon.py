@@ -37,7 +37,8 @@ from repro.cloud.sqs import Message
 from repro.errors import NoSuchKeyError, TransactionIncompleteError
 from repro.provenance.records import ProvenanceBundle
 
-from repro.core.sdb_items import build_item_plan
+from repro.core.protocol_base import DomainRouter
+from repro.core.sdb_items import build_routed_requests
 from repro.core.wal_messages import DataManifestEntry, ParsedMessage, parse_message
 
 
@@ -75,10 +76,14 @@ class CommitDaemon:
         domain: str,
         connections: int = 32,
         charge_time: bool = False,
+        router: Optional[DomainRouter] = None,
     ):
         self.account = account
         self.queue_url = queue_url
         self.bucket = bucket
+        #: Routes each bundle's items to its shard domain; the default
+        #: single-domain router reproduces the paper's configuration.
+        self.router = router if router is not None else DomainRouter(domain)
         self.domain = domain
         self.connections = connections
         #: When true, daemon requests advance the clock (used by tests
@@ -162,16 +167,14 @@ class CommitDaemon:
             records.extend(packet.records)
             entries.extend(packet.data_entries)
 
-        # 1 + 2: spill oversized values, then BatchPutAttributes.
+        # 1 + 2: spill oversized values, then BatchPutAttributes into each
+        # bundle's routed shard domain.
         bundles = self._bundles_from_records(records)
-        plan = build_item_plan(bundles, self.account.s3, self.bucket)
-        self._run(plan.spill_requests)
-        self._run(
-            [
-                self.account.simpledb.batch_put_request(self.domain, batch)
-                for batch in plan.batches()
-            ]
+        spill_requests, batch_requests, _pairs = build_routed_requests(
+            self.router, bundles, self.account, self.bucket
         )
+        self._run(spill_requests)
+        self._run(batch_requests)
         self.account.faults.crash_point("p3.mid_commit")
 
         # 3: COPY temp -> final, stamping the provenance link metadata.

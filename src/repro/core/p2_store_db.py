@@ -19,19 +19,20 @@ non-atomic requests.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.cloud.network import Request
-from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
 
 from repro.core.protocol_base import (
     PROVENANCE_DOMAIN,
+    DomainRouter,
     FlushWork,
     StorageProtocol,
     UploadMode,
+    bundles_with_coupling,
     data_key,
 )
-from repro.core.sdb_items import build_item_plan
+from repro.core.sdb_items import build_routed_requests
 
 
 class ProtocolP2(StorageProtocol):
@@ -40,30 +41,40 @@ class ProtocolP2(StorageProtocol):
     name = "p2"
     supports_efficient_query = True
 
-    def __init__(self, *args, domain: str = PROVENANCE_DOMAIN, **kwargs):
+    def __init__(
+        self,
+        *args,
+        domain: str = PROVENANCE_DOMAIN,
+        router: Optional[DomainRouter] = None,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
-        self.domain = domain
-        self.account.simpledb.create_domain(domain)
+        self.router = router if router is not None else DomainRouter(domain)
+        #: Legacy single-domain name.  With a multi-shard router this is
+        #: only the *first* shard — consumers that want every provenance
+        #: item (detection readers, ad-hoc selects) must iterate
+        #: ``router.domains`` instead.
+        self.domain = self.router.domains[0]
+        for shard in self.router.domains:
+            self.account.simpledb.create_domain(shard)
 
     def flush(self, work: FlushWork) -> None:
-        bundles = self._bundles_with_coupling(work)
-        plan = build_item_plan(bundles, self.account.s3, self.bucket)
-        batch_requests = [
-            self.account.simpledb.batch_put_request(self.domain, batch)
-            for batch in plan.batches()
-        ]
+        bundles = bundles_with_coupling(work)
+        spill_requests, batch_requests, item_pairs = build_routed_requests(
+            self.router, bundles, self.account, self.bucket
+        )
         data_requests = self._data_requests(work) if work.include_data else []
-        self.charge_prov_cpu(len(plan.spill_requests) + len(batch_requests))
-        self.charge_prov_items(sum(len(pairs) for _, pairs in plan.items))
+        self.charge_prov_cpu(len(spill_requests) + len(batch_requests))
+        self.charge_prov_items(item_pairs)
 
         if self.mode is UploadMode.PARALLEL:
-            self._dispatch(plan.spill_requests + batch_requests + data_requests)
+            self._dispatch(spill_requests + batch_requests + data_requests)
             self.account.faults.crash_point("p2.after_prov_put")
         else:
             ancestor_requests = data_requests[1:]
             self.account.scheduler.execute_batch(ancestor_requests, self.connections)
             self.account.scheduler.execute_batch(
-                plan.spill_requests, self.connections
+                spill_requests, self.connections
             )
             for request in batch_requests:
                 self.account.scheduler.execute_one(request)
@@ -76,22 +87,6 @@ class ProtocolP2(StorageProtocol):
             for intent in work.ancestor_data:
                 self._mark_data_stored(intent)
         self.account.faults.crash_point("p2.after_data_put")
-
-    def _bundles_with_coupling(self, work: FlushWork) -> List[ProvenanceBundle]:
-        """Append the coupling records (object name + content hash) to the
-        primary object's bundle."""
-        out: List[ProvenanceBundle] = []
-        for bundle in work.bundles:
-            if bundle.uuid == work.primary.uuid:
-                enriched = ProvenanceBundle(uuid=bundle.uuid)
-                for record in bundle.records:
-                    enriched.add(record)
-                for record in self.coupling_records(work.primary):
-                    enriched.add(record)
-                out.append(enriched)
-            else:
-                out.append(bundle)
-        return out
 
     def _data_requests(self, work: FlushWork) -> List[Request]:
         """Primary data PUT first, then any unrecorded ancestor data."""

@@ -33,6 +33,7 @@ from repro.core.commit_daemon import CommitDaemon
 from repro.core.cleaner_daemon import CleanerDaemon
 from repro.core.protocol_base import (
     PROVENANCE_DOMAIN,
+    DomainRouter,
     FlushWork,
     StorageProtocol,
     UploadMode,
@@ -53,11 +54,16 @@ class ProtocolP3(StorageProtocol):
         *args,
         domain: str = PROVENANCE_DOMAIN,
         client_id: str = "client-0",
+        router: Optional[DomainRouter] = None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
-        self.domain = domain
-        self.account.simpledb.create_domain(domain)
+        self.router = router if router is not None else DomainRouter(domain)
+        #: Legacy single-domain name (first shard under a multi-shard
+        #: router; iterate ``router.domains`` to see every item).
+        self.domain = self.router.domains[0]
+        for shard in self.router.domains:
+            self.account.simpledb.create_domain(shard)
         self.queue_url = self.account.sqs.create_queue(f"wal-{client_id}")
         self._txn_ids = itertools.count(1)
         self.commit_daemon = CommitDaemon(
@@ -65,6 +71,7 @@ class ProtocolP3(StorageProtocol):
             queue_url=self.queue_url,
             bucket=self.bucket,
             domain=self.domain,
+            router=self.router,
         )
         self.cleaner_daemon = CleanerDaemon(account=self.account, bucket=self.bucket)
 

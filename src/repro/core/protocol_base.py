@@ -36,6 +36,41 @@ DATA_BUCKET = "pass-data"
 PROVENANCE_DOMAIN = "pass-prov"
 
 
+class DomainRouter:
+    """Maps an object uuid to the SimpleDB domain holding its provenance.
+
+    The base router is the paper's configuration: every item lands in one
+    domain (``PROVENANCE_DOMAIN``).  The multi-tenant service tier swaps
+    in :class:`repro.service.sharding.ShardRouter`, which spreads items
+    over N domains by stable hash — SimpleDB's ingest ceiling is
+    per-domain (§5's domain-limit discussion), so routing is the scaling
+    unit.  Protocols, the commit daemon, and the query engines all accept
+    a router so the storage scheme stays consistent end to end.
+    """
+
+    def __init__(self, domain: str = PROVENANCE_DOMAIN):
+        self._domain = domain
+
+    @property
+    def domains(self) -> Tuple[str, ...]:
+        """Every domain this router can produce, in stable order."""
+        return (self._domain,)
+
+    def domain_for(self, uuid: str) -> str:
+        """Domain holding the provenance items of ``uuid``."""
+        return self._domain
+
+    def group_by_domain(
+        self, bundles: List[ProvenanceBundle]
+    ) -> List[Tuple[str, List[ProvenanceBundle]]]:
+        """Split bundles by target domain, preserving arrival order both
+        across domains (first touch) and within each domain."""
+        grouped: Dict[str, List[ProvenanceBundle]] = {}
+        for bundle in bundles:
+            grouped.setdefault(self.domain_for(bundle.uuid), []).append(bundle)
+        return list(grouped.items())
+
+
 class UploadMode(enum.Enum):
     """How a flush's requests are issued."""
 
@@ -76,6 +111,43 @@ def spill_key(ref: NodeRef, attribute: str, index: int) -> str:
 def temp_key(txn_id: str, ref: NodeRef) -> str:
     """S3 key of a P3 temporary data object."""
     return f"tmp/{txn_id}/{ref}"
+
+
+def coupling_records(intent: FlushIntent) -> List[ProvenanceRecord]:
+    """Records binding provenance to the data it describes: the data
+    object's name and a content hash (the detection hooks of §3)."""
+    return [
+        ProvenanceRecord(intent.ref, "object", data_key(intent.path)),
+        ProvenanceRecord(intent.ref, "sha1", intent.blob.digest),
+    ]
+
+
+def data_object_metadata(intent: FlushIntent) -> Dict[str, str]:
+    """Metadata stored on a data object, linking it to its provenance
+    (§4.3.1: "we record a version number and the uuid")."""
+    return {
+        "prov-uuid": intent.uuid,
+        "version": str(intent.ref.version),
+        "digest": intent.blob.digest,
+    }
+
+
+def bundles_with_coupling(work: FlushWork) -> List[ProvenanceBundle]:
+    """Append the coupling records to the primary object's bundle —
+    shared by P2's flush and the ingest gateway, which store the same
+    scheme."""
+    out: List[ProvenanceBundle] = []
+    for bundle in work.bundles:
+        if bundle.uuid == work.primary.uuid:
+            enriched = ProvenanceBundle(uuid=bundle.uuid)
+            for record in bundle.records:
+                enriched.add(record)
+            for record in coupling_records(work.primary):
+                enriched.add(record)
+            out.append(enriched)
+        else:
+            out.append(bundle)
+    return out
 
 
 class StorageProtocol(ABC):
@@ -193,18 +265,9 @@ class StorageProtocol(ABC):
 
     @staticmethod
     def coupling_records(intent: FlushIntent) -> List[ProvenanceRecord]:
-        """Records binding provenance to the data it describes: the data
-        object's name and a content hash (the detection hooks of §3)."""
-        return [
-            ProvenanceRecord(intent.ref, "object", data_key(intent.path)),
-            ProvenanceRecord(intent.ref, "sha1", intent.blob.digest),
-        ]
+        """See the module-level :func:`coupling_records`."""
+        return coupling_records(intent)
 
     def data_metadata(self, intent: FlushIntent) -> Dict[str, str]:
-        """Metadata stored on the data object, linking it to provenance
-        (§4.3.1: "we record a version number and the uuid")."""
-        return {
-            "prov-uuid": intent.uuid,
-            "version": str(intent.ref.version),
-            "digest": intent.blob.digest,
-        }
+        """See the module-level :func:`data_object_metadata`."""
+        return data_object_metadata(intent)

@@ -92,6 +92,35 @@ def build_item_plan(
     return plan
 
 
+def build_routed_requests(
+    router,
+    bundles: Sequence[ProvenanceBundle],
+    account,
+    bucket: str,
+) -> Tuple[List[Request], List[Request], int]:
+    """Route bundles to their shard domains and build the cloud writes.
+
+    The one sharding pipeline shared by every write path (P2's flush,
+    P3's commit daemon, the ingest gateway): group bundles by the
+    router's domain, build each group's item plan, and emit the spill
+    PUTs plus per-domain ``BatchPutAttributes`` requests.  Returns
+    ``(spill_requests, batch_requests, attribute_pair_count)``; nothing
+    is executed — the caller owns scheduling and fault points.
+    """
+    spill_requests: List[Request] = []
+    batch_requests: List[Request] = []
+    item_pairs = 0
+    for shard, group in router.group_by_domain(list(bundles)):
+        plan = build_item_plan(group, account.s3, bucket)
+        spill_requests.extend(plan.spill_requests)
+        batch_requests.extend(
+            account.simpledb.batch_put_request(shard, batch)
+            for batch in plan.batches()
+        )
+        item_pairs += sum(len(pairs) for _, pairs in plan.items)
+    return spill_requests, batch_requests, item_pairs
+
+
 def is_spill_pointer(value: str) -> bool:
     return value.startswith(SPILL_POINTER_PREFIX)
 

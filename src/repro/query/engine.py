@@ -196,6 +196,16 @@ class SimpleDBQueryEngine:
         self.bucket = bucket
         self.parallel_connections = parallel_connections
 
+    # -- domain routing (overridden by the sharded engine) ---------------------
+
+    def _domains(self) -> Sequence[str]:
+        """Every domain holding provenance items, in stable order."""
+        return (self.domain,)
+
+    def _domain_for_uuid(self, uuid: str) -> str:
+        """The single domain holding the items of one object's uuid."""
+        return self.domain
+
     # -- internals ------------------------------------------------------------
 
     def _rows_to_index(self, rows) -> ProvenanceIndex:
@@ -246,27 +256,33 @@ class SimpleDBQueryEngine:
         return resolved
 
     def _select_procs_named(self, program: str) -> List[NodeRef]:
-        rows = self.account.simpledb.select(
-            f"select * from {self.domain} where name = '{program}' and type = 'proc'"
-        )
-        return [NodeRef.parse(name) for name, _ in rows]
+        refs: List[NodeRef] = []
+        for domain in self._domains():
+            rows = self.account.simpledb.select(
+                f"select * from {domain} where name = '{program}' and type = 'proc'"
+            )
+            refs.extend(NodeRef.parse(name) for name, _ in rows)
+        return refs
 
     def _select_referencing(
         self, attribute: str, targets: Sequence[NodeRef], parallel: bool
     ) -> List[Tuple[str, Dict[str, List[str]]]]:
         """All items whose ``attribute`` references any of ``targets``,
         issued as chunked ``IN`` selects (parallelizable — each chunk is
-        independent, unlike Q1's next-token chain)."""
+        independent, unlike Q1's next-token chain).  With a sharded
+        router the referencing items may live in any domain, so each
+        chunk fans out to every shard."""
         chunks = [
             list(targets[i : i + _IN_CHUNK])
             for i in range(0, len(targets), _IN_CHUNK)
         ]
         expressions = [
             "select * from {} where {} in ({})".format(
-                self.domain,
+                domain,
                 attribute,
                 ", ".join(f"'{ref}'" for ref in chunk),
             )
+            for domain in self._domains()
             for chunk in chunks
         ]
         rows: List[Tuple[str, Dict[str, List[str]]]] = []
@@ -278,10 +294,9 @@ class SimpleDBQueryEngine:
                 requests, self.parallel_connections
             )
             pages = batch.results
-            for page in pages:
+            for expr_index, page in enumerate(pages):
                 rows.extend(page.rows)
                 token = page.next_token
-                expr_index = pages.index(page)
                 while token:
                     next_page = self.account.scheduler.execute_one(
                         self.account.simpledb.select_request(
@@ -305,7 +320,9 @@ class SimpleDBQueryEngine:
         reports no parallel number for SimpleDB Q1)."""
         del parallel
         window = _Measured(self.account)
-        rows = self.account.simpledb.select(f"select * from {self.domain}")
+        rows: List[Tuple[str, Dict[str, List[str]]]] = []
+        for domain in self._domains():
+            rows.extend(self.account.simpledb.select(f"select * from {domain}"))
         index = self._rows_to_index(rows)
         return index, window.stats()
 
@@ -319,7 +336,9 @@ class SimpleDBQueryEngine:
         merged: Dict[str, List[str]] = {}
         if uuid:
             rows = self.account.simpledb.select(
-                f"select * from {self.domain} where itemName() like '{uuid}_%'"
+                "select * from {} where itemName() like '{}_%'".format(
+                    self._domain_for_uuid(uuid), uuid
+                )
             )
             for _name, attributes in rows:
                 for attribute, values in self._resolve(attributes).items():
@@ -365,11 +384,81 @@ class SimpleDBQueryEngine:
         return sorted(results), window.stats()
 
 
+class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
+    """Q1–Q4 over provenance spread across N shard domains.
+
+    Fan-out/merge on top of the single-domain engine: Q2 routes straight
+    to the one shard holding the object's items (the stable uuid hash
+    makes that lookup local), Q3/Q4's reference lookups fan out to every
+    shard, and Q1 pages each shard's next-token chain — chains of
+    *different* shards are independent, so unlike the single-domain case
+    Q1 can run them in parallel.  Answers are byte-identical to the
+    single-domain engine over the same store: routing moves items between
+    domains but never changes them.
+    """
+
+    def __init__(
+        self,
+        account: CloudAccount,
+        router,
+        bucket: str = "pass-data",
+        parallel_connections: int = 8,
+    ):
+        super().__init__(
+            account,
+            domain=router.domains[0],
+            bucket=bucket,
+            parallel_connections=parallel_connections,
+        )
+        self.router = router
+
+    def _domains(self) -> Sequence[str]:
+        return self.router.domains
+
+    def _domain_for_uuid(self, uuid: str) -> str:
+        return self.router.domain_for(uuid)
+
+    def q1_all_provenance(
+        self, parallel: bool = False
+    ) -> Tuple[ProvenanceIndex, QueryStats]:
+        """Q1 with cross-shard parallelism: the per-domain next-token
+        chains stay sequential, but the first page of every shard goes
+        out in one batch and each chain advances independently."""
+        if not parallel or len(self._domains()) == 1:
+            return super().q1_all_provenance(parallel=False)
+        window = _Measured(self.account)
+        expressions = [f"select * from {domain}" for domain in self._domains()]
+        batch = self.account.scheduler.execute_batch(
+            [self.account.simpledb.select_request(expr) for expr in expressions],
+            self.parallel_connections,
+        )
+        rows: List[Tuple[str, Dict[str, List[str]]]] = []
+        for expr_index, page in enumerate(batch.results):
+            rows.extend(page.rows)
+            token = page.next_token
+            while token:
+                next_page = self.account.scheduler.execute_one(
+                    self.account.simpledb.select_request(
+                        expressions[expr_index], token
+                    )
+                )
+                rows.extend(next_page.rows)
+                token = next_page.next_token
+        return self._rows_to_index(rows), window.stats()
+
+
 def query_engine_for(protocol_name: str, account: CloudAccount, **kwargs):
     """Engine matching a protocol's provenance backend (P1 → S3;
-    P2/P3 → SimpleDB)."""
+    P2/P3 → SimpleDB).  Pass ``router=`` to get the shard-aware engine
+    for a multi-domain deployment."""
     if protocol_name == "p1":
         return S3QueryEngine(account, **kwargs)
     if protocol_name in ("p2", "p3"):
+        router = kwargs.pop("router", None)
+        if router is not None and len(router.domains) > 1:
+            kwargs.pop("domain", None)  # the router owns domain selection
+            return ShardedSimpleDBQueryEngine(account, router, **kwargs)
+        if router is not None:
+            kwargs.setdefault("domain", router.domains[0])
         return SimpleDBQueryEngine(account, **kwargs)
     raise ValueError(f"no query backend for protocol {protocol_name!r}")

@@ -1,0 +1,35 @@
+"""The multi-tenant provenance service tier.
+
+The paper evaluates one PA-S3fs client against one bucket and one
+SimpleDB domain; this package is the scaling unit the ROADMAP's
+production north star needs — a service that sits between many clients
+and the simulated cloud:
+
+- :mod:`repro.service.sharding` — :class:`ShardRouter`: stable-hash
+  routing of provenance items across N SimpleDB domains (the per-domain
+  ingest ceiling of §5 is the resource being multiplied),
+- :mod:`repro.service.gateway` — :class:`IngestGateway`: accepts
+  :class:`~repro.core.protocol_base.FlushWork` from many concurrent
+  clients and coalesces their ``BatchPutAttributes`` and S3 uploads
+  across clients, amortizing round-trips on the virtual clock,
+- :mod:`repro.service.cache` — :class:`LRUCache` /
+  :class:`CachedQueryEngine`: a generation-invalidated LRU read cache
+  with hit/miss counters fronting both query engines.
+
+The client-fleet simulator that drives this tier lives in
+:mod:`repro.workloads.fleet`; the scaling benchmark in
+:mod:`repro.bench.experiments` (``multitenant_scaling``).
+"""
+
+from repro.service.cache import CachedQueryEngine, CacheStats, LRUCache
+from repro.service.gateway import GatewayStats, IngestGateway
+from repro.service.sharding import ShardRouter
+
+__all__ = [
+    "CacheStats",
+    "CachedQueryEngine",
+    "GatewayStats",
+    "IngestGateway",
+    "LRUCache",
+    "ShardRouter",
+]

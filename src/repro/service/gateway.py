@@ -1,0 +1,183 @@
+"""The multi-tenant ingest gateway.
+
+The paper's deployment is one PA-S3fs client talking to its own bucket
+and domain.  At fleet scale that wastes the two resources the simulator
+meters: every client pays its own round-trips, and every client's
+partial ``BatchPutAttributes`` (≤ 25 items) ships mostly-empty batches.
+The gateway sits between many clients and the cloud:
+
+- clients :meth:`submit` their :class:`FlushWork` units; nothing is sent
+  yet (the gateway's batching window),
+- :meth:`flush_pending` coalesces the window across clients — provenance
+  bundles merge by uuid, route to their shard domain, and fill 25-item
+  batches *across* clients; data and spill objects ride in the same
+  parallel batch — and issues everything through one
+  :class:`~repro.cloud.network.ParallelScheduler` batch, so the
+  round-trip latency is paid once per window instead of once per client.
+
+Storage scheme is P2's (§4.3.2): data objects in S3 with uuid/version
+metadata, one SimpleDB item per object version, >1 KB values spilled to
+S3.  Both query engines therefore work unchanged on a gateway-populated
+store, and the shard-aware engine works when the gateway routes across
+shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.network import Request
+from repro.provenance.records import ProvenanceBundle, merge_bundles
+from repro.query.engine import query_engine_for
+
+from repro.core.protocol_base import (
+    DATA_BUCKET,
+    DomainRouter,
+    FlushWork,
+    bundles_with_coupling,
+    data_key,
+    data_object_metadata,
+)
+from repro.core.sdb_items import build_routed_requests
+from repro.service.cache import CachedQueryEngine, LRUCache
+
+
+@dataclass
+class GatewayStats:
+    """Cumulative accounting of what the gateway coalesced."""
+
+    flushes: int = 0
+    windows: int = 0
+    item_pairs: int = 0
+    sdb_batches: int = 0
+    #: BatchPutAttributes calls the same flushes would have cost with
+    #: every client batching alone (the per-client ⌈items/25⌉ sum).
+    sdb_batches_unbatched: int = 0
+    data_puts: int = 0
+    spill_puts: int = 0
+    clients: Set[str] = field(default_factory=set)
+
+    @property
+    def sdb_batches_saved(self) -> int:
+        return self.sdb_batches_unbatched - self.sdb_batches
+
+    def summary(self) -> str:
+        return (
+            f"{self.flushes} flushes from {len(self.clients)} clients in "
+            f"{self.windows} windows: {self.sdb_batches} BatchPut calls "
+            f"({self.sdb_batches_saved} saved), {self.data_puts} data PUTs"
+        )
+
+
+class IngestGateway:
+    """Coalesces many clients' flushes into shared cloud batches."""
+
+    def __init__(
+        self,
+        account: CloudAccount,
+        router: Optional[DomainRouter] = None,
+        bucket: str = DATA_BUCKET,
+        connections: int = 150,
+        cache: Optional[LRUCache] = None,
+    ):
+        self.account = account
+        self.router = router if router is not None else DomainRouter()
+        self.bucket = bucket
+        self.connections = connections
+        self.cache = cache if cache is not None else LRUCache()
+        self.stats = GatewayStats()
+        account.s3.create_bucket(bucket)
+        for domain in self.router.domains:
+            account.simpledb.create_domain(domain)
+        self._pending: List[Tuple[str, FlushWork]] = []
+
+    # -- ingest ---------------------------------------------------------------
+
+    def submit(self, client_id: str, work: FlushWork) -> None:
+        """Accept one client's flush into the current batching window."""
+        self._pending.append((client_id, work))
+        self.stats.flushes += 1
+        self.stats.clients.add(client_id)
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def flush_pending(self) -> int:
+        """Coalesce and issue the window; returns the request count."""
+        if not self._pending:
+            return 0
+        window = self._pending
+        self._pending = []
+        self.stats.windows += 1
+
+        bundles: List[ProvenanceBundle] = []
+        data_requests: List[Request] = []
+        for _client_id, work in window:
+            enriched = bundles_with_coupling(work)
+            bundles.extend(enriched)
+            self.stats.sdb_batches_unbatched += self._unbatched_calls(enriched)
+            if work.include_data:
+                for intent in [work.primary] + list(work.ancestor_data):
+                    data_requests.append(
+                        self.account.s3.put_request(
+                            self.bucket,
+                            data_key(intent.path),
+                            intent.blob,
+                            data_object_metadata(intent),
+                        )
+                    )
+
+        merged = list(merge_bundles(bundles).values())
+        spill_requests, batch_requests, item_pairs = build_routed_requests(
+            self.router, merged, self.account, self.bucket
+        )
+
+        requests = spill_requests + batch_requests + data_requests
+        self._charge_marshalling(len(requests), item_pairs)
+        self.account.scheduler.execute_batch(requests, self.connections)
+
+        self.stats.item_pairs += item_pairs
+        self.stats.sdb_batches += len(batch_requests)
+        self.stats.data_puts += len(data_requests)
+        self.stats.spill_puts += len(spill_requests)
+        self.cache.note_write()
+        return len(requests)
+
+    # -- query side -----------------------------------------------------------
+
+    def query_engine(self, parallel_connections: int = 8) -> CachedQueryEngine:
+        """A cached, shard-aware query engine over the gateway's store.
+        Shares the gateway's cache, so ingest invalidates reads."""
+        engine = query_engine_for(
+            "p2",
+            self.account,
+            router=self.router,
+            bucket=self.bucket,
+            parallel_connections=parallel_connections,
+        )
+        return CachedQueryEngine(engine, cache=self.cache)
+
+    # -- internals ------------------------------------------------------------
+
+    def _unbatched_calls(self, bundles: List[ProvenanceBundle]) -> int:
+        """BatchPutAttributes calls one flush's (already enriched)
+        bundles would cost a lone client: one ⌈items/25⌉ ceiling per
+        shard domain it touches."""
+        calls = 0
+        for _shard, group in self.router.group_by_domain(bundles):
+            versions = sum(len(bundle.by_version()) for bundle in group)
+            calls += (versions + 24) // 25
+        return calls
+
+    def _charge_marshalling(self, request_count: int, item_pairs: int) -> None:
+        """Serial gateway-side CPU for preparing the window's requests —
+        same accounting the client protocols charge."""
+        env = self.account.profile.environment
+        cost = (
+            request_count * env.prov_cpu_per_request_s
+            + item_pairs * env.prov_cpu_per_item_s
+        ) * env.cpu_factor
+        if cost > 0:
+            self.account.clock.advance(cost)

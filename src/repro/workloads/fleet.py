@@ -1,0 +1,180 @@
+"""The client-fleet simulator.
+
+Drives dozens-to-thousands of simulated PA-S3fs clients through the
+multi-tenant :class:`~repro.service.gateway.IngestGateway` under a fixed
+seed.  Each client runs a small synthetic pipeline: one worker process
+reads an input and writes a chain of output files, so the fleet's merged
+provenance exercises every query shape — Q2 per-object lookups, Q3's
+program→outputs select, and a Q4 closure deeper than one hop (each
+client's later files derive from its earlier ones).
+
+Determinism is the point: client uuids are namespaced by client id
+(``c0007-f002``), sizes and chain shapes come from one seeded RNG, and
+the round-robin submission order is fixed by the same seed — so the same
+seed and shard count reproduce identical billing totals and identical
+query answers, which is what lets the scaling benchmark compare shard
+counts on everything *except* the sharding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.blob import Blob
+from repro.provenance.graph import NodeRef
+from repro.provenance.pass_collector import FlushIntent
+from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
+
+from repro.core.protocol_base import FlushWork
+from repro.workloads.base import MOUNT
+
+#: The program name every fleet worker runs under (the Q3/Q4 target).
+FLEET_PROGRAM = "fleetworker"
+
+
+@dataclass
+class FleetClient:
+    """One simulated client: an id and its ordered flush stream."""
+
+    client_id: str
+    works: List[FlushWork] = field(default_factory=list)
+
+    def file_paths(self) -> List[str]:
+        return [work.primary.path for work in self.works]
+
+
+def make_fleet(
+    clients: int = 16,
+    files_per_client: int = 4,
+    file_bytes: int = 32 * 1024,
+    extra_attributes: int = 24,
+    seed: int = 0,
+) -> List[FleetClient]:
+    """Build a deterministic fleet of clients and their flush streams.
+
+    Args:
+        clients: number of simulated clients.
+        files_per_client: output files each client closes.
+        file_bytes: nominal data size per file (±25 % seeded jitter).
+        extra_attributes: synthetic metadata records per file version —
+            the attribute-pair volume that loads SimpleDB's per-domain
+            indexing pipeline (more pairs ⇒ sharding matters more).
+        seed: fixes sizes, chain shapes, and everything downstream.
+    """
+    rng = random.Random(seed)
+    fleet: List[FleetClient] = []
+    for c in range(clients):
+        cid = f"c{c:04d}"
+        client = FleetClient(client_id=cid)
+
+        proc_ref = NodeRef(f"{cid}-p0", 0)
+        proc_bundle = ProvenanceBundle(uuid=proc_ref.uuid)
+        proc_bundle.add(ProvenanceRecord(proc_ref, "type", "proc"))
+        proc_bundle.add(ProvenanceRecord(proc_ref, "name", FLEET_PROGRAM))
+        proc_bundle.add(
+            ProvenanceRecord(
+                proc_ref, "argv", f"{FLEET_PROGRAM} --client {cid}"
+            )
+        )
+        proc_bundle.add(ProvenanceRecord(proc_ref, "input", f"/local/{cid}/seed.dat"))
+
+        previous_ref: Optional[NodeRef] = None
+        for j in range(files_per_client):
+            path = f"{MOUNT}fleet/{cid}/f{j:03d}.dat"
+            ref = NodeRef(f"{cid}-f{j:03d}", 1)
+            size = int(file_bytes * rng.uniform(0.75, 1.25))
+            bundle = ProvenanceBundle(uuid=ref.uuid)
+            bundle.add(ProvenanceRecord(ref, "type", "file"))
+            bundle.add(ProvenanceRecord(ref, "name", path))
+            bundle.add(ProvenanceRecord(ref, "input", proc_ref))
+            # Half the files (after the first) also derive from the
+            # previous output, giving Q4 a closure deeper than one hop.
+            if previous_ref is not None and rng.random() < 0.5:
+                bundle.add(ProvenanceRecord(ref, "input", previous_ref))
+            for k in range(extra_attributes):
+                bundle.add(
+                    ProvenanceRecord(
+                        ref, f"meta{k:03d}", f"{cid}:{j}:{rng.randrange(1 << 30)}"
+                    )
+                )
+            bundles = [bundle] if j > 0 else [proc_bundle, bundle]
+            client.works.append(
+                FlushWork(
+                    primary=FlushIntent(
+                        path=path,
+                        uuid=ref.uuid,
+                        ref=ref,
+                        blob=Blob.synthetic(size, f"{path}@{ref.version}"),
+                    ),
+                    bundles=bundles,
+                )
+            )
+            previous_ref = ref
+        fleet.append(client)
+    return fleet
+
+
+@dataclass
+class FleetRunResult:
+    """What one fleet run through the gateway measured."""
+
+    clients: int
+    flushes: int
+    elapsed_seconds: float
+    operations: int
+    bytes_transmitted: int
+    cost_usd: float
+
+    @property
+    def flushes_per_second(self) -> float:
+        """Total commit throughput in virtual time — the scaling metric."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.flushes / self.elapsed_seconds
+
+
+def run_fleet(
+    account: CloudAccount,
+    gateway,
+    fleet: List[FleetClient],
+    seed: int = 0,
+) -> FleetRunResult:
+    """Drive the fleet through the gateway, one batching window per
+    round: every live client submits its next flush, then the gateway
+    coalesces the window.  Client order within a round is shuffled by
+    the seeded RNG (clients are concurrent, arrival order is not fixed)
+    but deterministically so."""
+    rng = random.Random(seed)
+    stopwatch = account.stopwatch()
+    ops_before = account.billing.operation_count()
+    bytes_before = account.billing.bytes_transmitted()
+    cost_before = account.billing.cost()
+
+    cursors: Dict[str, int] = {client.client_id: 0 for client in fleet}
+    by_id = {client.client_id: client for client in fleet}
+    flushes = 0
+    while True:
+        live = [
+            cid for cid, cursor in cursors.items()
+            if cursor < len(by_id[cid].works)
+        ]
+        if not live:
+            break
+        rng.shuffle(live)
+        for cid in live:
+            gateway.submit(cid, by_id[cid].works[cursors[cid]])
+            cursors[cid] += 1
+            flushes += 1
+        gateway.flush_pending()
+
+    return FleetRunResult(
+        clients=len(fleet),
+        flushes=flushes,
+        elapsed_seconds=stopwatch.elapsed(),
+        operations=account.billing.operation_count() - ops_before,
+        bytes_transmitted=account.billing.bytes_transmitted() - bytes_before,
+        cost_usd=account.billing.cost() - cost_before,
+    )

@@ -1,0 +1,70 @@
+"""Bench plumbing: single-sample aggregation and BENCH_*.json output."""
+
+import json
+import math
+import os
+
+from repro.bench.harness import Aggregate, aggregate, repeat_with_seeds
+from repro.bench.reporting import BENCH_DIR_ENV, write_bench_json
+
+
+class TestAggregate:
+    def test_single_sample_has_zero_spread(self):
+        # Regression: a single-sample run must aggregate to stddev 0.0
+        # and error bar 0.0 (not NaN, not a division artifact).
+        agg = aggregate([5.0])
+        assert agg.mean == 5.0
+        assert agg.stddev == 0.0
+        assert agg.error_bar == 0.0
+        assert str(agg) == "5.0 ± 0.0"
+
+    def test_single_repeat_run(self):
+        agg = repeat_with_seeds(lambda seed: 42.0, repeats=1)
+        assert agg.mean == 42.0
+        assert agg.error_bar == 0.0
+
+    def test_non_finite_stddev_yields_zero_error_bar(self):
+        # Hand-built aggregates (e.g. deserialized) may carry NaN.
+        agg = Aggregate(mean=1.0, stddev=float("nan"), samples=[1.0, 2.0])
+        assert agg.error_bar == 0.0
+
+    def test_multi_sample_statistics(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert math.isclose(agg.stddev, 1.0)
+        assert math.isclose(agg.error_bar, 1.96 / math.sqrt(3))
+
+    def test_as_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(aggregate([1.0, 2.0]).as_dict()))
+        assert payload["mean"] == 1.5
+        assert payload["samples"] == [1.0, 2.0]
+        assert payload["error_bar"] > 0
+
+
+class TestWriteBenchJson:
+    def test_writes_named_file(self, tmp_path):
+        path = write_bench_json(
+            "unit_test",
+            {"elapsed": aggregate([1.0, 2.0]).as_dict(), "ops": 7},
+            directory=str(tmp_path),
+        )
+        assert os.path.basename(path) == "BENCH_unit_test.json"
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["experiment"] == "unit_test"
+        assert payload["results"]["ops"] == 7
+        assert payload["results"]["elapsed"]["mean"] == 1.5
+
+    def test_env_var_sets_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path / "nested"))
+        path = write_bench_json("env_test", {"ok": True})
+        assert path.startswith(str(tmp_path / "nested"))
+        assert os.path.exists(path)
+
+    def test_non_serializable_values_fall_back_to_str(self, tmp_path):
+        path = write_bench_json(
+            "fallback", {"obj": object()}, directory=str(tmp_path)
+        )
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["results"]["obj"].startswith("<object object")

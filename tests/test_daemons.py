@@ -1,0 +1,137 @@
+"""Direct unit tests for P3's asynchronous halves: the commit daemon
+(idempotent re-commit after a mid-commit crash) and the cleaner daemon
+(garbage collection of incomplete transactions)."""
+
+import pytest
+
+from repro.cloud.account import CloudAccount
+from repro.core import PAS3fs, ProtocolP3, UploadMode
+from repro.core.commit_daemon import CommitDaemon
+from repro.core.cleaner_daemon import DEFAULT_MAX_AGE_SECONDS
+from repro.errors import ClientCrashError, TransactionIncompleteError
+from repro.provenance.syscalls import TraceBuilder
+from repro.workloads.base import MOUNT
+
+
+def _single_file_trace(size=64 * 1024):
+    builder = TraceBuilder()
+    writer = builder.spawn("writer", argv=["writer"], exec_path="/bin/writer")
+    builder.read(writer, "/local/input.dat", 1024)
+    builder.write_close(writer, f"{MOUNT}out/result.dat", size)
+    builder.exit(writer)
+    return builder.trace
+
+
+def _wide_provenance_trace(cycles=64):
+    """Provenance large enough to span several 8 KB WAL messages, so a
+    mid-log crash leaves a genuinely incomplete transaction."""
+    builder = TraceBuilder()
+    xform = builder.spawn(
+        "transform",
+        argv=["transform", "--passes", str(cycles)],
+        env=(("TRANSFORM_OPTS", "x" * 512),),
+        exec_path="/bin/transform",
+    )
+    for cycle in range(cycles):
+        builder.read(xform, f"{MOUNT}wide/input.dat", 16 * 1024)
+        builder.write(xform, f"{MOUNT}wide/output.dat", (cycle + 1) * 1024)
+    builder.close(xform, f"{MOUNT}wide/output.dat")
+    builder.exit(xform)
+    return builder.trace
+
+
+class TestCommitDaemonRecovery:
+    def test_recommit_after_mid_commit_crash_is_idempotent(self):
+        account = CloudAccount(seed=9)
+        protocol = ProtocolP3(account)
+        fs = PAS3fs(account, protocol)
+        fs.run(_single_file_trace())
+
+        # The first daemon machine dies between the SimpleDB writes and
+        # the temp->final COPY.
+        account.faults.arm_crash("p3.mid_commit")
+        with pytest.raises(ClientCrashError):
+            protocol.commit_daemon.drain()
+        assert not account.s3.list_keys(protocol.bucket, "files/mnt/s3/out/")
+
+        # Any other machine can run a fresh daemon against the same
+        # queue and finish the job (§4.3.3) once the WAL messages'
+        # visibility timeout lapses.
+        account.faults.disarm_all()
+        account.settle(60.0)
+        second = CommitDaemon(
+            account=account,
+            queue_url=protocol.queue_url,
+            bucket=protocol.bucket,
+            domain=protocol.domain,
+        )
+        stats = second.drain()
+        assert stats.transactions_committed == 1
+        assert stats.transactions_pending == 0
+        account.settle(60.0)  # let the COPY/DELETEs become list-visible
+
+        # Data reached its final key; temporaries and WAL are gone.
+        assert account.s3.list_keys(protocol.bucket, "files/mnt/s3/out/")
+        assert not account.s3.list_keys(protocol.bucket, "tmp/")
+        assert account.sqs.pending_count(protocol.queue_url, now=account.now) == 0
+
+        # Idempotency: the crashed commit already issued the same
+        # BatchPutAttributes; re-issuing them must not duplicate values.
+        for name in account.simpledb.peek_item_names(protocol.domain):
+            attributes = account.simpledb.peek_item(protocol.domain, name)
+            for attribute, values in attributes.items():
+                assert len(values) == len(set(values)), (name, attribute)
+
+    def test_commit_refuses_incomplete_transaction(self):
+        account = CloudAccount(seed=9)
+        protocol = ProtocolP3(account)
+        daemon = protocol.commit_daemon
+        with pytest.raises(TransactionIncompleteError):
+            daemon.commit("txn-never-logged")
+
+
+class TestCleanerDaemonGC:
+    def _crash_mid_log(self):
+        account = CloudAccount(seed=13)
+        # CAUSAL mode sends WAL packets one by one, so the mid-log crash
+        # point can fire between them.
+        protocol = ProtocolP3(account, mode=UploadMode.CAUSAL)
+        fs = PAS3fs(account, protocol)
+        account.faults.arm_crash("p3.mid_log")
+        with pytest.raises(ClientCrashError):
+            fs.run(_wide_provenance_trace())
+        account.faults.disarm_all()
+        return account, protocol
+
+    def test_incomplete_transaction_is_never_committed(self):
+        account, protocol = self._crash_mid_log()
+        stats = protocol.commit_daemon.drain()
+        assert stats.transactions_committed == 0
+        assert stats.transactions_pending == 1
+        # The orphaned temporaries are still sitting under tmp/.
+        assert account.s3.list_keys(protocol.bucket, "tmp/")
+
+    def test_cleaner_collects_orphaned_temporaries(self):
+        account, protocol = self._crash_mid_log()
+        # Too young to collect: a cleaning pass right away removes nothing.
+        assert protocol.run_cleaner() == 0
+        # Four days later the temporaries are stale and SQS has dropped
+        # the incomplete transaction's messages (its retention window).
+        account.clock.advance(DEFAULT_MAX_AGE_SECONDS + 120.0)
+        removed = protocol.run_cleaner()
+        assert removed > 0
+        account.settle(60.0)  # let the DELETEs become list-visible
+        assert not account.s3.list_keys(protocol.bucket, "tmp/")
+        assert account.sqs.pending_count(protocol.queue_url, now=account.now) == 0
+        # A fresh daemon finds nothing left to commit.
+        fresh = CommitDaemon(
+            account=account,
+            queue_url=protocol.queue_url,
+            bucket=protocol.bucket,
+            domain=protocol.domain,
+        )
+        stats = fresh.drain()
+        assert stats.transactions_committed == 0
+        assert stats.transactions_pending == 0
+        # The never-committed data must not exist at its final key.
+        assert not account.s3.list_keys(protocol.bucket, "files/mnt/s3/wide/")
