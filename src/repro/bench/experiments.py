@@ -884,6 +884,234 @@ def multitenant_scaling(
     )
 
 
+# ==========================================================================
+# Commit lag over virtual time — the kernel's scenario family
+# ==========================================================================
+
+@dataclass
+class CommitLagSample:
+    """One monitor tick: the WAL backlog and commit progress at time t."""
+
+    t: float
+    queue_depth: int
+    committed: int
+
+
+@dataclass
+class CommitLagResult:
+    """What the kernel observed: fleet clients logging transactions into a
+    shared WAL queue while in-loop commit daemons race to drain it."""
+
+    clients: int
+    daemons: int
+    flushes: int
+    committed: int
+    elapsed_seconds: float
+    samples: List[CommitLagSample]
+    #: (txn_id, logged_at, committed_at) for every committed transaction,
+    #: ordered by commit completion.
+    commit_timeline: List[Tuple[str, float, float]]
+    crashed_processes: List[str] = field(default_factory=list)
+
+    @property
+    def lags(self) -> List[float]:
+        return [committed - logged for _, logged, committed in self.commit_timeline]
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((s.queue_depth for s in self.samples), default=0)
+
+    @property
+    def mean_lag(self) -> float:
+        lags = self.lags
+        return sum(lags) / len(lags) if lags else 0.0
+
+    @property
+    def max_lag(self) -> float:
+        return max(self.lags, default=0.0)
+
+    def render(self) -> str:
+        table = render_table(
+            ("t (s)", "WAL depth", "committed"),
+            [(f"{s.t:.1f}", s.queue_depth, s.committed) for s in self.samples],
+            title=(
+                f"Commit lag: {self.clients} clients, {self.daemons} "
+                f"daemon(s) interleaved on the kernel"
+            ),
+        )
+        series = render_series(
+            "WAL queue depth over virtual time",
+            [f"t={s.t:.0f}" for s in self.samples],
+            [float(s.queue_depth) for s in self.samples],
+            unit=" msgs",
+        )
+        summary = (
+            f"{self.committed}/{self.flushes} transactions committed in "
+            f"{self.elapsed_seconds:.1f}s; lag mean {self.mean_lag:.1f}s, "
+            f"max {self.max_lag:.1f}s; peak backlog {self.max_queue_depth} "
+            f"messages"
+        )
+        if self.crashed_processes:
+            summary += f"; crashed: {', '.join(self.crashed_processes)}"
+        return "\n\n".join([table, series, summary])
+
+    def as_json(self) -> Dict[str, object]:
+        """Machine-readable form for ``write_bench_json`` — stable across
+        runs of the same seed (the determinism contract)."""
+        return {
+            "clients": self.clients,
+            "daemons": self.daemons,
+            "flushes": self.flushes,
+            "committed": self.committed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "samples": [
+                {"t": s.t, "queue_depth": s.queue_depth, "committed": s.committed}
+                for s in self.samples
+            ],
+            "commit_timeline": [
+                {"txn": txn, "logged_at": logged, "committed_at": committed}
+                for txn, logged, committed in self.commit_timeline
+            ],
+            "lag_mean_s": self.mean_lag,
+            "lag_max_s": self.max_lag,
+            "max_queue_depth": self.max_queue_depth,
+            "crashed_processes": list(self.crashed_processes),
+        }
+
+
+def commit_lag_experiment(
+    clients: int = 4,
+    files_per_client: int = 5,
+    daemons: int = 1,
+    seed: int = 0,
+    think_s: float = 2.0,
+    poll_interval: float = 1.0,
+    sample_interval: float = 2.0,
+    extra_attributes: int = 24,
+    file_bytes: int = 32 * 1024,
+    crash_at: Optional[Sequence[Tuple[str, float]]] = None,
+    drain_horizon_s: float = 900.0,
+) -> CommitLagResult:
+    """The kernel's headline experiment: concurrent fleet clients log P3
+    transactions into one shared WAL queue while ``daemons`` commit
+    daemons poll it in-loop; a monitor samples WAL queue depth and commit
+    progress over virtual time.
+
+    Under the phased driver this shape was unobservable — the daemon only
+    ever ran after the clients finished, so backlog was an artifact of
+    drain order.  Here the backlog curve is real: it grows while clients
+    outpace the daemons and decays as the daemons catch up, and every
+    committed transaction's lag (log completion to commit completion) is
+    measured on the virtual clock.
+
+    ``crash_at`` arms timed crashes — e.g. ``[("c0001", 12.0)]`` kills
+    client 1 at t=12s mid-run, ``[("daemon-0", 30.0)]`` kills a daemon so
+    a surviving one takes over its redelivered messages.  Deterministic:
+    the same arguments and seed replay bit for bit.
+    """
+    import random as _random
+
+    from repro.core.commit_daemon import CommitDaemon
+    from repro.sim import Delay, SimKernel
+    from repro.workloads.fleet import make_fleet
+
+    account = CloudAccount(seed=seed)
+    protocol = ProtocolP3(account, client_id="fleet-shared")
+    fleet = make_fleet(
+        clients=clients,
+        files_per_client=files_per_client,
+        file_bytes=file_bytes,
+        extra_attributes=extra_attributes,
+        seed=seed,
+    )
+    for target, at in crash_at or []:
+        account.faults.arm_timed_crash(target, at)
+
+    kernel = SimKernel(account)
+
+    def client_proc(client, rng):
+        for work in client.works:
+            yield from protocol.flush_plan(work)
+            yield Delay(think_s * rng.uniform(0.5, 1.5))
+
+    master = _random.Random(seed)
+    for client in fleet:
+        rng = _random.Random(master.randrange(1 << 30))
+        kernel.spawn(client_proc(client, rng), name=client.client_id)
+
+    daemon_objs: List[CommitDaemon] = []
+    for index in range(daemons):
+        daemon = CommitDaemon(
+            account=account,
+            queue_url=protocol.queue_url,
+            bucket=protocol.bucket,
+            domain=protocol.domain,
+            router=protocol.router,
+        )
+        daemon_objs.append(daemon)
+        kernel.spawn(
+            daemon.process(poll_interval=poll_interval),
+            name=f"daemon-{index}",
+            daemon=True,
+        )
+
+    samples: List[CommitLagSample] = []
+
+    def sample(now: float) -> None:
+        samples.append(
+            CommitLagSample(
+                t=round(now, 6),
+                queue_depth=account.sqs.pending_count(protocol.queue_url),
+                committed=sum(d.committed_count() for d in daemon_objs),
+            )
+        )
+
+    kernel.every(sample_interval, sample, name="monitor")
+
+    kernel.run()  # clients to completion (or their timed crashes)
+    # Let the daemons drain the backlog; the horizon bounds runs where a
+    # mid-log crash left an incomplete transaction that can never commit.
+    horizon = account.now + drain_horizon_s
+    while (
+        account.sqs.pending_count(protocol.queue_url) > 0
+        and account.now < horizon
+    ):
+        kernel.run(until=min(account.now + 5 * poll_interval, horizon))
+    # One more beat so daemons finish commit bookkeeping cut mid-step and
+    # the monitor records the settled state.
+    kernel.run(until=account.now + max(poll_interval, sample_interval))
+
+    timeline = sorted(
+        (
+            (record.txn_id, record.logged_at, record.committed_at)
+            for daemon in daemon_objs
+            for record in daemon.commit_log
+        ),
+        key=lambda row: (row[2], row[0]),
+    )
+    # Elapsed is when the work actually ended — the last commit or the
+    # last client activity — not the drain loop's quantized horizon.
+    client_end = max(
+        (p.domain.finished_at
+         for p in kernel.processes
+         if not p.daemon and p.domain.finished_at >= 0),
+        default=0.0,
+    )
+    drain_end = max((committed for _, _, committed in timeline), default=0.0)
+    return CommitLagResult(
+        clients=clients,
+        daemons=daemons,
+        flushes=sum(len(client.works) for client in fleet),
+        committed=sum(d.committed_count() for d in daemon_objs),
+        elapsed_seconds=max(client_end, drain_end),
+        samples=samples,
+        commit_timeline=timeline,
+        crashed_processes=sorted(
+            p.name for p in kernel.processes if p.state.value == "crashed"
+        ),
+    )
+
+
 @dataclass
 class ChunkSweepResult:
     #: (chunk_bytes, elapsed seconds, message count)

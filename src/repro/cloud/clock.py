@@ -48,6 +48,63 @@ class VirtualClock:
         return f"VirtualClock(now={self._now:.3f}s)"
 
 
+class TimeDomain:
+    """Per-process accounting of virtual time.
+
+    The simulation kernel gives every process its own time domain: the
+    shared :class:`VirtualClock` orders events globally, while the domain
+    records what *this* process's timeline looked like — when it first
+    ran, how much virtual time it spent executing charged work (busy)
+    versus sleeping between activations (idle), and when it finished.
+    This is the generalisation of the pre-kernel ``advance_clock=False``
+    daemon accounting: the paper excludes commit-daemon time from client
+    elapsed times, and under the kernel that falls out naturally because
+    the daemon's busy time accrues to its own domain, not the client's.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy_s = 0.0
+        self.idle_s = 0.0
+        self.activations = 0
+        self.started_at: float = -1.0
+        self.finished_at: float = -1.0
+        self._last_seen = 0.0
+
+    def activate(self, now: float) -> None:
+        """Record one activation at virtual time ``now``."""
+        if self.started_at < 0:
+            self.started_at = now
+        self.activations += 1
+        self._last_seen = now
+
+    def charge_busy(self, dt: float) -> None:
+        self.busy_s += dt
+
+    def charge_idle(self, dt: float) -> None:
+        self.idle_s += dt
+
+    def finish(self, now: float) -> None:
+        if self.finished_at < 0:
+            self.finished_at = now
+        self._last_seen = now
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual seconds from first activation to completion (or to the
+        latest activation while still running)."""
+        if self.started_at < 0:
+            return 0.0
+        end = self.finished_at if self.finished_at >= 0 else self._last_seen
+        return end - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeDomain({self.name!r}, busy={self.busy_s:.3f}s, "
+            f"idle={self.idle_s:.3f}s, activations={self.activations})"
+        )
+
+
 class Stopwatch:
     """Measures elapsed virtual time across a region of code.
 

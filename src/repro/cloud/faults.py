@@ -29,7 +29,7 @@ Crash point names used by the protocols:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.errors import ClientCrashError
 
@@ -43,11 +43,30 @@ class _ArmedPoint:
 
 
 @dataclass
+class TimedCrash:
+    """A wall-of-virtual-time trigger: kill ``target`` at time ``at``.
+
+    Crash points fire when code *reaches* a step boundary; timed crashes
+    fire when the clock reaches ``at``, whatever the target is doing —
+    "crash client 7 at t=42s".  The simulation kernel materialises armed
+    timed crashes as events and kills the named process when they pop
+    (``scheduled`` marks a crash the kernel has already enqueued).
+    """
+
+    target: str
+    at: float
+    fired: bool = False
+    fired_at: float = -1.0
+    scheduled: bool = False
+
+
+@dataclass
 class FaultPlan:
     """Arms crash points and counts how often each point was passed."""
 
     _armed: Dict[str, _ArmedPoint] = field(default_factory=dict)
     hits: Dict[str, int] = field(default_factory=dict)
+    _timed: List[TimedCrash] = field(default_factory=list)
 
     def arm_crash(self, point: str, skip: int = 0) -> None:
         """Arm ``point`` so that its ``skip+1``-th hit raises
@@ -77,6 +96,28 @@ class FaultPlan:
         """Whether the armed crash at ``point`` has already gone off."""
         armed = self._armed.get(point)
         return armed is not None and armed.fired
+
+    # -- timed crashes ("crash client 7 at t=42s") ---------------------------
+
+    def arm_timed_crash(self, target: str, at: float) -> TimedCrash:
+        """Arm a crash that kills process ``target`` at virtual time
+        ``at``.  Consumed by the simulation kernel."""
+        if at < 0:
+            raise ValueError(f"cannot arm a crash before t=0 (at={at})")
+        crash = TimedCrash(target=target, at=at)
+        self._timed.append(crash)
+        return crash
+
+    def timed_crashes_for(self, target: str) -> List[TimedCrash]:
+        """Armed timed crashes naming ``target``, in arming order."""
+        return [crash for crash in self._timed if crash.target == target]
+
+    def fire_timed_crash(self, target: str, now: float) -> None:
+        """Mark every due timed crash for ``target`` as fired."""
+        for crash in self._timed:
+            if crash.target == target and not crash.fired and crash.at <= now:
+                crash.fired = True
+                crash.fired_at = now
 
 
 #: A plan with nothing armed — the default for healthy runs.

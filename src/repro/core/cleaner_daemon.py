@@ -14,11 +14,13 @@ object, and deletes the stale ones.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Generator, List
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.network import Request
 from repro.errors import NoSuchKeyError
+from repro.sim.compat import run_plan_phased
+from repro.sim.events import Batch, Delay
 
 #: Age after which an orphaned temporary is collected (matches SQS's
 #: message retention, §4.3.3).
@@ -41,23 +43,27 @@ class CleanerDaemon:
         self.max_age_seconds = max_age_seconds
         self.connections = connections
         self.charge_time = charge_time
-
-    def _run(self, requests: List[Request]) -> List:
-        if not requests:
-            return []
-        return self.account.scheduler.execute_batch(
-            requests, self.connections, advance_clock=self.charge_time
-        ).results
+        #: Cumulative temporaries removed (the kernel process's counter).
+        self.removed_total = 0
 
     def clean(self) -> int:
-        """One cleaning pass; returns the number of temporaries removed."""
+        """One cleaning pass (phased driver); returns temporaries removed."""
+        return run_plan_phased(
+            self.account, self.clean_plan(), advance_clock=self.charge_time
+        )
+
+    def clean_plan(self) -> Generator:
+        """One cleaning pass as an effect plan — list the ``tmp/`` prefix,
+        HEAD each object, delete the stale ones."""
         now = self.account.now
         keys: List[str] = []
         marker = ""
         while True:
-            page, marker = self._run(
-                [self.account.s3.list_request(self.bucket, "tmp/", marker)]
-            )[0]
+            batch = yield Batch(
+                [self.account.s3.list_request(self.bucket, "tmp/", marker)],
+                self.connections,
+            )
+            page, marker = batch.results[0]
             keys.extend(page)
             if not marker:
                 break
@@ -65,14 +71,28 @@ class CleanerDaemon:
         stale: List[str] = []
         for key in keys:
             try:
-                head = self._run([self.account.s3.head_request(self.bucket, key)])[0]
+                batch = yield Batch(
+                    [self.account.s3.head_request(self.bucket, key)],
+                    self.connections,
+                )
             except NoSuchKeyError:
                 continue
+            head = batch.results[0]
             created = float(head.metadata.get("created", "0"))
             if now - created > self.max_age_seconds:
                 stale.append(key)
 
-        self._run(
-            [self.account.s3.delete_request(self.bucket, key) for key in stale]
-        )
+        if stale:
+            yield Batch(
+                [self.account.s3.delete_request(self.bucket, key) for key in stale],
+                self.connections,
+            )
+        self.removed_total += len(stale)
         return len(stale)
+
+    def process(self, interval: float = 3600.0) -> Generator:
+        """The cleaner as a long-running kernel process: one pass every
+        ``interval`` virtual seconds.  Spawn with ``daemon=True``."""
+        while True:
+            yield from self.clean_plan()
+            yield Delay(interval)

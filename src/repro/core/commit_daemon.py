@@ -19,23 +19,38 @@ can run a daemon against the same queue and finish the job — the WAL is
 the authority.  Commits are idempotent: re-running a partially committed
 transaction re-issues the same writes.
 
-Daemon work is scheduled with ``advance_clock=False``: it consumes
-requests (billed, counted) but does not extend the client's elapsed time,
-matching the paper's measurement methodology ("the elapsed times we
-present do not include the commit daemon times as it operates
-asynchronously").
+The daemon runs in two execution modes over one copy of the commit
+logic (:meth:`CommitDaemon.commit_plan`, an effect-plan generator):
+
+- **Phased** (the paper's measurement methodology): :meth:`drain` is
+  called after the client finishes; batches run with
+  ``advance_clock=False`` — billed and counted but excluded from the
+  client's elapsed time ("the elapsed times we present do not include
+  the commit daemon times as it operates asynchronously").
+- **Kernel** (:meth:`process`): the daemon is a long-running process on
+  the simulation kernel, polling SQS on an interval concurrently with
+  the clients that feed the queue.  Its work charges its own time
+  domain, so commit lag and WAL backlog become observable over virtual
+  time while client elapsed times still exclude daemon time — the same
+  accounting, now by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.network import Request
 from repro.cloud.sqs import Message
-from repro.errors import NoSuchKeyError, TransactionIncompleteError
+from repro.errors import (
+    DrainExhaustedError,
+    NoSuchKeyError,
+    TransactionIncompleteError,
+)
 from repro.provenance.records import ProvenanceBundle
+from repro.sim.compat import run_plan_phased
+from repro.sim.events import Batch, Delay
 
 from repro.core.protocol_base import DomainRouter
 from repro.core.sdb_items import build_routed_requests
@@ -65,6 +80,23 @@ class CommitStats:
     messages_processed: int = 0
 
 
+@dataclass
+class CommitRecord:
+    """One committed transaction's timeline."""
+
+    txn_id: str
+    #: Virtual time the *latest* WAL packet of the transaction was sent —
+    #: log completion, the moment the transaction became committable.
+    logged_at: float
+    #: Virtual time the commit finished.
+    committed_at: float
+
+    @property
+    def lag(self) -> float:
+        """Commit lag: log completion to commit completion."""
+        return self.committed_at - self.logged_at
+
+
 class CommitDaemon:
     """Assembles and commits P3 transactions from the WAL queue."""
 
@@ -91,6 +123,11 @@ class CommitDaemon:
         self.charge_time = charge_time
         self._pending: Dict[str, _PendingTransaction] = {}
         self._committed_count = 0
+        #: txn id -> virtual send time of its latest WAL packet seen
+        #: (log completion).
+        self._logged_at: Dict[str, float] = {}
+        #: Timeline of every commit this daemon finished (commit lag).
+        self.commit_log: List[CommitRecord] = []
 
     # -- scheduling that respects the async accounting ------------------------
 
@@ -117,21 +154,66 @@ class CommitDaemon:
 
     def drain(self, max_polls: int = 100000) -> CommitStats:
         """Poll until the queue yields nothing and no complete transaction
-        remains uncommitted.  Incomplete transactions are left pending."""
+        remains uncommitted.  Incomplete transactions are left pending.
+
+        Raises :class:`~repro.errors.DrainExhaustedError` if the queue is
+        still yielding messages after ``max_polls`` polls — exhausting the
+        budget silently would leave a live backlog behind an apparently
+        successful drain."""
         stats = CommitStats()
         empty_polls = 0
+        drained = False
         for _ in range(max_polls):
             received = self.poll_once()
             stats.messages_processed += received
             if received == 0:
                 empty_polls += 1
                 if empty_polls >= 2:
+                    drained = True
                     break
             else:
                 empty_polls = 0
+        if not drained:
+            # The poll budget ran out before two consecutive empty polls
+            # confirmed quiescence.  Only raise if messages genuinely
+            # remain — a queue that emptied on the very last poll is a
+            # successful drain, not an exhaustion.
+            backlog = self.account.sqs.pending_count(self.queue_url)
+            if backlog > 0:
+                raise DrainExhaustedError(
+                    f"drain exhausted {max_polls} polls with the WAL queue "
+                    f"still holding {backlog} messages "
+                    f"({len(self._pending)} transactions pending)"
+                )
         stats.transactions_committed = self._committed_count
         stats.transactions_pending = len(self._pending)
         return stats
+
+    def process(
+        self, poll_interval: float = 1.0, max_messages: int = 10
+    ) -> Generator:
+        """The daemon as a long-running kernel process: receive, assemble,
+        commit, and sleep ``poll_interval`` virtual seconds whenever the
+        queue comes up empty.  Spawn with ``daemon=True`` — the process
+        never returns; the kernel stops it when the experiment ends."""
+        while True:
+            batch = yield Batch(
+                [
+                    self.account.sqs.receive_request(
+                        self.queue_url, max_messages=max_messages
+                    )
+                ],
+                connections=1,
+            )
+            messages: List[Message] = batch.results[0]
+            for message in messages:
+                self._ingest(message)
+            for txn_id in [
+                txn.txn_id for txn in self._pending.values() if txn.complete()
+            ]:
+                yield from self.commit_plan(txn_id)
+            if not messages:
+                yield Delay(poll_interval)
 
     def _ingest(self, message: Message) -> None:
         parsed = parse_message(message.body)
@@ -142,6 +224,9 @@ class CommitDaemon:
         # Duplicate deliveries overwrite the same seq slot harmlessly.
         txn.packets[parsed.seq] = parsed
         txn.receipts.append(message.receipt_handle)
+        latest = self._logged_at.get(parsed.txn_id)
+        if latest is None or message.sent_at > latest:
+            self._logged_at[parsed.txn_id] = message.sent_at
 
     def _commit_ready(self) -> None:
         ready = [txn for txn in self._pending.values() if txn.complete()]
@@ -151,7 +236,15 @@ class CommitDaemon:
     # -- committing ------------------------------------------------------------------
 
     def commit(self, txn_id: str) -> None:
-        """Commit one fully assembled transaction."""
+        """Commit one fully assembled transaction (phased driver)."""
+        run_plan_phased(
+            self.account, self.commit_plan(txn_id), advance_clock=self.charge_time
+        )
+
+    def commit_plan(self, txn_id: str) -> Generator:
+        """The commit of one fully assembled transaction, as an effect
+        plan — the single copy of the commit logic, driven phased by
+        :meth:`commit` and concurrently by :meth:`process`."""
         txn = self._pending.get(txn_id)
         if txn is None:
             raise TransactionIncompleteError(f"unknown transaction {txn_id}")
@@ -173,8 +266,10 @@ class CommitDaemon:
         spill_requests, batch_requests, _pairs = build_routed_requests(
             self.router, bundles, self.account, self.bucket
         )
-        self._run(spill_requests)
-        self._run(batch_requests)
+        if spill_requests:
+            yield Batch(spill_requests, self.connections)
+        if batch_requests:
+            yield Batch(batch_requests, self.connections)
         self.account.faults.crash_point("p3.mid_commit")
 
         # 3: COPY temp -> final, stamping the provenance link metadata.
@@ -193,10 +288,10 @@ class CommitDaemon:
             )
             for attempt in range(32):
                 try:
-                    self._run([copy])
+                    yield Batch([copy], self.connections)
                     break
                 except NoSuchKeyError:
-                    self.account.clock.advance(2.0)
+                    yield Delay(2.0)
             else:  # pragma: no cover - 64 s exceeds any propagation window
                 raise NoSuchKeyError(
                     f"temp object {entry.tmp_key} never became visible"
@@ -211,10 +306,18 @@ class CommitDaemon:
             self.account.sqs.delete_request(self.queue_url, receipt)
             for receipt in txn.receipts
         )
-        self._run(deletes)
+        if deletes:
+            yield Batch(deletes, self.connections)
 
         del self._pending[txn_id]
         self._committed_count += 1
+        self.commit_log.append(
+            CommitRecord(
+                txn_id=txn_id,
+                logged_at=self._logged_at.get(txn_id, 0.0),
+                committed_at=self.account.now,
+            )
+        )
 
     @staticmethod
     def _bundles_from_records(records) -> List[ProvenanceBundle]:

@@ -24,10 +24,12 @@ highlights over P1/P2.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
 
 from repro.cloud.network import Request
 from repro.provenance.pass_collector import FlushIntent
+from repro.sim.events import Batch, Delay
 
 from repro.core.commit_daemon import CommitDaemon
 from repro.core.cleaner_daemon import CleanerDaemon
@@ -41,6 +43,17 @@ from repro.core.protocol_base import (
     temp_key,
 )
 from repro.core.wal_messages import DataManifestEntry, build_messages
+
+
+@dataclass
+class _PreparedFlush:
+    """The requests one flush will issue, before any is executed."""
+
+    txn_id: str
+    intents: List[FlushIntent] = field(default_factory=list)
+    entries: List[DataManifestEntry] = field(default_factory=list)
+    temp_puts: List[Request] = field(default_factory=list)
+    send_requests: List[Request] = field(default_factory=list)
 
 
 class ProtocolP3(StorageProtocol):
@@ -75,7 +88,10 @@ class ProtocolP3(StorageProtocol):
         )
         self.cleaner_daemon = CleanerDaemon(account=self.account, bucket=self.bucket)
 
-    def flush(self, work: FlushWork) -> None:
+    def _prepare_flush(self, work: FlushWork) -> _PreparedFlush:
+        """Allocate a transaction id and build every request the flush
+        will issue — shared by the phased :meth:`flush` and the kernel
+        :meth:`flush_plan`, so both execute identical traffic."""
         txn_id = f"txn-{next(self._txn_ids):08d}"
 
         # Data manifest: the primary object plus unrecorded ancestor data,
@@ -116,15 +132,27 @@ class ProtocolP3(StorageProtocol):
         send_requests = [
             self.account.sqs.send_request(self.queue_url, body) for body in messages
         ]
-        self.charge_prov_cpu(len(send_requests))
+        return _PreparedFlush(
+            txn_id=txn_id,
+            intents=intents,
+            entries=entries,
+            temp_puts=temp_puts,
+            send_requests=send_requests,
+        )
+
+    def flush(self, work: FlushWork) -> None:
+        prepared = self._prepare_flush(work)
+        self.charge_prov_cpu(len(prepared.send_requests))
 
         if self.mode is UploadMode.PARALLEL:
             # Packets can go in parallel: order does not matter once
             # everything is in the WAL (§4.3.3).
-            self._dispatch(temp_puts + send_requests)
+            self._dispatch(prepared.temp_puts + prepared.send_requests)
         else:
-            self.account.scheduler.execute_batch(temp_puts, self.connections)
-            for index, request in enumerate(send_requests):
+            self.account.scheduler.execute_batch(
+                prepared.temp_puts, self.connections
+            )
+            for index, request in enumerate(prepared.send_requests):
                 if index > 0:
                     self.account.faults.crash_point("p3.mid_log")
                 self.account.scheduler.execute_one(request)
@@ -132,7 +160,34 @@ class ProtocolP3(StorageProtocol):
 
         # Once logged, the transaction is guaranteed to commit eventually.
         self._mark_provenance_stored(work.bundles)
-        for intent in intents:
+        for intent in prepared.intents:
+            self._mark_data_stored(intent)
+
+    def flush_plan(self, work: FlushWork) -> Generator:
+        """One flush as an effect plan, for clients running as kernel
+        processes.  Identical request construction to :meth:`flush`; the
+        serial marshalling CPU becomes a delay in the client's own time
+        domain, and in causal mode each WAL packet is its own activation
+        so crashes (timed or crash-point) can land mid-log."""
+        prepared = self._prepare_flush(work)
+        cost = self.prov_cpu_cost(len(prepared.send_requests))
+        if cost > 0:
+            yield Delay(cost)
+
+        if self.mode is UploadMode.PARALLEL:
+            yield Batch(
+                prepared.temp_puts + prepared.send_requests, self.connections
+            )
+        else:
+            yield Batch(prepared.temp_puts, self.connections)
+            for index, request in enumerate(prepared.send_requests):
+                if index > 0:
+                    self.account.faults.crash_point("p3.mid_log")
+                yield Batch([request], connections=1)
+        self.account.faults.crash_point("p3.after_log")
+
+        self._mark_provenance_stored(work.bundles)
+        for intent in prepared.intents:
             self._mark_data_stored(intent)
 
     def finalize(self) -> None:

@@ -213,24 +213,36 @@ class StorageProtocol(ABC):
             return
         self.account.scheduler.execute_batch(requests, self.connections)
 
-    def charge_prov_cpu(self, request_count: int) -> None:
-        """Charge client-side CPU for preparing provenance requests (PASS
-        record extraction, DPAPI marshalling, serialization).  This work
-        is serial on the client, so it adds directly to elapsed time."""
+    def prov_cpu_cost(self, request_count: int) -> float:
+        """Serial client-side CPU seconds for preparing ``request_count``
+        provenance requests (PASS record extraction, DPAPI marshalling,
+        serialization).  Phased callers advance the shared clock by this;
+        kernel processes yield it as a :class:`~repro.sim.events.Delay`
+        in their own time domain."""
+        if request_count <= 0:
+            return 0.0
         env = self.account.profile.environment
-        if request_count > 0:
-            self.account.clock.advance(
-                request_count * env.prov_cpu_per_request_s * env.cpu_factor
-            )
+        return request_count * env.prov_cpu_per_request_s * env.cpu_factor
+
+    def prov_items_cost(self, item_count: int) -> float:
+        """Serial client-side CPU seconds for marshalling ``item_count``
+        attribute-value pairs into SimpleDB requests."""
+        if item_count <= 0:
+            return 0.0
+        env = self.account.profile.environment
+        return item_count * env.prov_cpu_per_item_s * env.cpu_factor
+
+    def charge_prov_cpu(self, request_count: int) -> None:
+        """Advance the shared clock by :meth:`prov_cpu_cost` (phased)."""
+        cost = self.prov_cpu_cost(request_count)
+        if cost > 0:
+            self.account.clock.advance(cost)
 
     def charge_prov_items(self, item_count: int) -> None:
-        """Charge client-side CPU for marshalling attribute-value pairs
-        into SimpleDB requests (P2's per-pair encoding cost)."""
-        env = self.account.profile.environment
-        if item_count > 0:
-            self.account.clock.advance(
-                item_count * env.prov_cpu_per_item_s * env.cpu_factor
-            )
+        """Advance the shared clock by :meth:`prov_items_cost` (phased)."""
+        cost = self.prov_items_cost(item_count)
+        if cost > 0:
+            self.account.clock.advance(cost)
 
     def finalize(self) -> None:
         """Drain any asynchronous work (P3's commit daemon); default no-op."""

@@ -25,12 +25,14 @@ shards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Generator, List, Optional, Set, Tuple
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.network import Request
 from repro.provenance.records import ProvenanceBundle, merge_bundles
 from repro.query.engine import query_engine_for
+from repro.sim.compat import run_plan_phased
+from repro.sim.events import Batch, Delay
 
 from repro.core.protocol_base import (
     DATA_BUCKET,
@@ -92,6 +94,9 @@ class IngestGateway:
         for domain in self.router.domains:
             account.simpledb.create_domain(domain)
         self._pending: List[Tuple[str, FlushWork]] = []
+        #: True while the kernel process is mid-window (the window has
+        #: been claimed from ``_pending`` but its batch has not shipped).
+        self._flushing = False
 
     # -- ingest ---------------------------------------------------------------
 
@@ -105,13 +110,84 @@ class IngestGateway:
         return len(self._pending)
 
     def flush_pending(self) -> int:
-        """Coalesce and issue the window; returns the request count."""
+        """Coalesce and issue the window (phased driver); returns the
+        request count."""
+        return run_plan_phased(self.account, self.flush_plan(), advance_clock=True)
+
+    def flush_plan(self) -> Generator:
+        """One window flush as an effect plan — the single copy of the
+        coalescing logic, driven phased by :meth:`flush_pending` and
+        concurrently by :meth:`process`."""
         if not self._pending:
             return 0
         window = self._pending
         self._pending = []
         self.stats.windows += 1
 
+        requests, item_pairs, batch_count, data_count, spill_count = (
+            self._build_window(window)
+        )
+        cost = self._marshalling_cost(len(requests), item_pairs)
+        if cost > 0:
+            yield Delay(cost)
+        yield Batch(requests, self.connections)
+
+        self.stats.item_pairs += item_pairs
+        self.stats.sdb_batches += batch_count
+        self.stats.data_puts += data_count
+        self.stats.spill_puts += spill_count
+        self.cache.note_write()
+        return len(requests)
+
+    def process(self, window_s: float = 0.25) -> Generator:
+        """The gateway as a kernel process: windows become *time-based*.
+        Every ``window_s`` virtual seconds the gateway coalesces whatever
+        the client processes submitted since the last flush — cross-client
+        batching now depends on arrival times, not on who called
+        ``flush_pending``.  Spawn with ``daemon=True``."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        while True:
+            yield Delay(window_s)
+            if self._pending:
+                self._flushing = True
+                try:
+                    yield from self.flush_plan()
+                finally:
+                    # A crash mid-window (the kernel closes the generator)
+                    # must not leave ``busy`` stuck True forever.
+                    self._flushing = False
+
+    @property
+    def busy(self) -> bool:
+        """Whether undelivered work remains: submissions waiting for the
+        next window, or a window claimed but not yet shipped.  Kernel
+        experiments drain by running until this clears."""
+        return self._flushing or bool(self._pending)
+
+    # -- query side -----------------------------------------------------------
+
+    def query_engine(self, parallel_connections: int = 8) -> CachedQueryEngine:
+        """A cached, shard-aware query engine over the gateway's store.
+        Shares the gateway's cache, so ingest invalidates reads."""
+        engine = query_engine_for(
+            "p2",
+            self.account,
+            router=self.router,
+            bucket=self.bucket,
+            parallel_connections=parallel_connections,
+        )
+        return CachedQueryEngine(engine, cache=self.cache)
+
+    # -- internals ------------------------------------------------------------
+
+    def _build_window(
+        self, window: List[Tuple[str, FlushWork]]
+    ) -> Tuple[List[Request], int, int, int, int]:
+        """Coalesce one window into its requests: provenance bundles merge
+        by uuid, route to their shard domain, and fill 25-item batches
+        across clients; data and spill objects ride in the same batch.
+        Returns (requests, item pairs, batch puts, data puts, spills)."""
         bundles: List[ProvenanceBundle] = []
         data_requests: List[Request] = []
         for _client_id, work in window:
@@ -133,33 +209,14 @@ class IngestGateway:
         spill_requests, batch_requests, item_pairs = build_routed_requests(
             self.router, merged, self.account, self.bucket
         )
-
         requests = spill_requests + batch_requests + data_requests
-        self._charge_marshalling(len(requests), item_pairs)
-        self.account.scheduler.execute_batch(requests, self.connections)
-
-        self.stats.item_pairs += item_pairs
-        self.stats.sdb_batches += len(batch_requests)
-        self.stats.data_puts += len(data_requests)
-        self.stats.spill_puts += len(spill_requests)
-        self.cache.note_write()
-        return len(requests)
-
-    # -- query side -----------------------------------------------------------
-
-    def query_engine(self, parallel_connections: int = 8) -> CachedQueryEngine:
-        """A cached, shard-aware query engine over the gateway's store.
-        Shares the gateway's cache, so ingest invalidates reads."""
-        engine = query_engine_for(
-            "p2",
-            self.account,
-            router=self.router,
-            bucket=self.bucket,
-            parallel_connections=parallel_connections,
+        return (
+            requests,
+            item_pairs,
+            len(batch_requests),
+            len(data_requests),
+            len(spill_requests),
         )
-        return CachedQueryEngine(engine, cache=self.cache)
-
-    # -- internals ------------------------------------------------------------
 
     def _unbatched_calls(self, bundles: List[ProvenanceBundle]) -> int:
         """BatchPutAttributes calls one flush's (already enriched)
@@ -171,13 +228,11 @@ class IngestGateway:
             calls += (versions + 24) // 25
         return calls
 
-    def _charge_marshalling(self, request_count: int, item_pairs: int) -> None:
-        """Serial gateway-side CPU for preparing the window's requests —
-        same accounting the client protocols charge."""
+    def _marshalling_cost(self, request_count: int, item_pairs: int) -> float:
+        """Serial gateway-side CPU seconds for preparing the window's
+        requests — same accounting the client protocols charge."""
         env = self.account.profile.environment
-        cost = (
+        return (
             request_count * env.prov_cpu_per_request_s
             + item_pairs * env.prov_cpu_per_item_s
         ) * env.cpu_factor
-        if cost > 0:
-            self.account.clock.advance(cost)

@@ -1,0 +1,34 @@
+"""The discrete-event simulation kernel.
+
+The pre-kernel execution model was *phased*: a client ran to completion
+(each request batch advancing the shared clock), then the commit daemon
+was hand-pumped via ``drain()``.  The kernel replaces that with an event
+loop over scheduled process activations: clients, commit/cleaner
+daemons, ingest gateways, and monitors all run as generator-based
+processes that ``yield`` effects (:class:`~repro.sim.events.Delay`,
+:class:`~repro.sim.events.Batch`) and genuinely overlap on the virtual
+clock — commit lag, WAL backlog, and mid-commit takeover become
+observable.
+
+Two drivers execute the same effect plans:
+
+- :class:`~repro.sim.kernel.SimKernel` — concurrent: each process has
+  its own time domain; the kernel interleaves activations in virtual
+  time,
+- :func:`~repro.sim.compat.run_plan_phased` — the compatibility mode:
+  one plan runs to completion with the pre-kernel call-and-advance
+  semantics, reproducing the existing experiments' numbers exactly.
+"""
+
+from repro.sim.compat import run_plan_phased
+from repro.sim.events import Batch, Delay
+from repro.sim.kernel import Process, ProcessState, SimKernel
+
+__all__ = [
+    "Batch",
+    "Delay",
+    "Process",
+    "ProcessState",
+    "SimKernel",
+    "run_plan_phased",
+]

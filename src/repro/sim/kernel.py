@@ -1,0 +1,289 @@
+"""The discrete-event simulation kernel.
+
+:class:`SimKernel` owns an event heap of scheduled process activations
+over one :class:`~repro.cloud.account.CloudAccount`'s virtual clock and
+makespan scheduler (the clock and scheduler are the kernel's services —
+processes never touch them directly).  A process is a generator yielding
+:class:`~repro.sim.events.Delay` and :class:`~repro.sim.events.Batch`
+effects; the kernel interprets each effect, schedules the resume, and
+sends the result back in.
+
+Semantics:
+
+- The heap orders activations by ``(time, sequence)``; the sequence
+  number is assigned in program order, so runs are deterministic — a
+  fixed seed plus a fixed process set replays bit for bit.
+- A charged ``Batch`` is placed by the shared scheduler starting at the
+  process's current time and the process resumes at the batch's finish
+  time; the *global* clock only ever moves when the kernel pops the next
+  event, so other processes scheduled in between run in between — this
+  is what makes daemons, clients, and monitors genuinely overlap.
+- Shared-resource contention (client NIC, per-domain SimpleDB indexer)
+  is inherited from the scheduler: a daemon that saturates a resource
+  delays the requests placed after it in event order.
+- Requests within one batch are applied when the batch is placed;
+  cross-process visibility is therefore resolved at *activation*
+  granularity.  Processes that interact through shared service state
+  (e.g. a daemon polling a queue) should issue small batches on an
+  interval, which is also how the real daemons behave.
+- Crashes: a :class:`~repro.errors.ClientCrashError` escaping a process
+  (an armed crash point firing inside its code) marks the process
+  ``CRASHED`` and abandons its in-memory state — everything already
+  applied to the services survives, exactly a machine crash.  Timed
+  crashes (:meth:`~repro.cloud.faults.FaultPlan.arm_timed_crash`,
+  "crash client 7 at t=42s") are materialised as kernel events that kill
+  the target process at the armed virtual time, even mid-sleep.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.cloud.account import CloudAccount
+from repro.cloud.clock import TimeDomain
+from repro.errors import ClientCrashError, CloudServiceError
+
+from repro.sim.events import Batch, Delay
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a kernel process."""
+
+    READY = "ready"
+    WAITING = "waiting"
+    DONE = "done"
+    CRASHED = "crashed"
+
+
+class Process:
+    """One generator-based process and its per-process time domain."""
+
+    def __init__(self, name: str, generator: Generator, daemon: bool):
+        self.name = name
+        self.generator = generator
+        #: Daemon processes (commit/cleaner daemons, gateways, monitors)
+        #: do not keep the simulation alive: ``run()`` returns once every
+        #: non-daemon process has finished.
+        self.daemon = daemon
+        self.state = ProcessState.READY
+        self.domain = TimeDomain(name)
+        #: Return value of the generator once DONE.
+        self.result: Any = None
+        #: The crash that killed the process, if CRASHED.
+        self.crash: Optional[ClientCrashError] = None
+        self._pending_value: Any = None
+        self._pending_exc: Optional[BaseException] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcessState.READY, ProcessState.WAITING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, {self.state.value})"
+
+
+@dataclass(order=True)
+class _Event:
+    """One heap entry: activate ``process`` (or fire a timed crash)."""
+
+    time: float
+    seq: int
+    process: Optional[Process] = field(compare=False, default=None)
+    crash_target: Optional[str] = field(compare=False, default=None)
+
+
+class SimKernel:
+    """Interleaves generator processes on one account's virtual clock."""
+
+    def __init__(self, account: CloudAccount):
+        self.account = account
+        #: Kernel services, adopted from the account: every process's
+        #: time flows through this clock, every batch through this
+        #: scheduler.
+        self.clock = account.clock
+        self.scheduler = account.scheduler
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._processes: List[Process] = []
+
+    # -- spawning ------------------------------------------------------------
+
+    def spawn(
+        self,
+        generator: Generator,
+        name: Optional[str] = None,
+        at: Optional[float] = None,
+        daemon: bool = False,
+    ) -> Process:
+        """Register a process; its first activation is at ``at``
+        (default: now).  Timed crashes armed against ``name`` are
+        materialised as kernel events here."""
+        process = Process(
+            name=name if name is not None else f"proc-{len(self._processes)}",
+            generator=generator,
+            daemon=daemon,
+        )
+        start = self.clock.now if at is None else at
+        if start < self.clock.now:
+            raise ValueError(
+                f"cannot spawn {process.name!r} in the past "
+                f"(at={start}, now={self.clock.now})"
+            )
+        self._processes.append(process)
+        self._push(_Event(start, next(self._seq), process=process))
+        self._schedule_timed_crashes(process.name)
+        return process
+
+    def _schedule_timed_crashes(self, target: str) -> None:
+        for crash in self.account.faults.timed_crashes_for(target):
+            if not crash.scheduled and not crash.fired:
+                crash.scheduled = True
+                self._push(
+                    _Event(crash.at, next(self._seq), crash_target=crash.target)
+                )
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[float], None],
+        name: str = "monitor",
+        at: Optional[float] = None,
+    ) -> Process:
+        """Spawn a daemon process calling ``fn(now)`` every ``interval``
+        virtual seconds — the sampling hook for over-time metrics."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def monitor() -> Generator:
+            while True:
+                fn(self.clock.now)
+                yield Delay(interval)
+
+        return self.spawn(monitor(), name=name, at=at, daemon=True)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def processes(self) -> List[Process]:
+        return list(self._processes)
+
+    def process(self, name: str) -> Process:
+        for candidate in self._processes:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no process named {name!r}")
+
+    # -- the event loop -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events; returns the final virtual time.
+
+        Without ``until``, runs until every non-daemon process has
+        finished (daemon activations stay queued for a later ``run``).
+        With ``until``, processes every event up to and including that
+        time — liveness of clients does not matter — then advances the
+        clock to ``until``; this is how an experiment lets daemons drain
+        after the clients are done.
+        """
+        # Materialise crashes armed after their target was spawned (a
+        # crash armed for a past time fires on the next event pop).
+        for process in self._processes:
+            self._schedule_timed_crashes(process.name)
+        while self._heap:
+            if until is None and not self._live_nondaemon():
+                break
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            self.clock.advance_to(event.time)
+            if event.crash_target is not None:
+                self._fire_timed_crash(event.crash_target, event.time)
+                continue
+            process = event.process
+            assert process is not None
+            if not process.alive:
+                continue
+            self._activate(process)
+        if until is not None:
+            self.clock.advance_to(until)
+        return self.clock.now
+
+    def _live_nondaemon(self) -> bool:
+        return any(p.alive and not p.daemon for p in self._processes)
+
+    def _push(self, event: _Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def _fire_timed_crash(self, target: str, now: float) -> None:
+        self.account.faults.fire_timed_crash(target, now)
+        for process in self._processes:
+            if process.name == target and process.alive:
+                self._kill(process, ClientCrashError(f"timed@{now:.3f}s"), now)
+
+    def _kill(self, process: Process, crash: ClientCrashError, now: float) -> None:
+        process.state = ProcessState.CRASHED
+        process.crash = crash
+        process.domain.finish(now)
+        process.generator.close()
+
+    # -- stepping one process --------------------------------------------------
+
+    def _activate(self, process: Process) -> None:
+        now = self.clock.now
+        process.domain.activate(now)
+        value, exc = process._pending_value, process._pending_exc
+        process._pending_value, process._pending_exc = None, None
+        try:
+            if exc is not None:
+                effect = process.generator.throw(exc)
+            else:
+                effect = process.generator.send(value)
+        except StopIteration as stop:
+            process.state = ProcessState.DONE
+            process.result = stop.value
+            process.domain.finish(now)
+            return
+        except ClientCrashError as crash:
+            process.state = ProcessState.CRASHED
+            process.crash = crash
+            process.domain.finish(now)
+            return
+        self._interpret(process, effect, now)
+
+    def _interpret(self, process: Process, effect: Any, now: float) -> None:
+        if isinstance(effect, Delay):
+            process.state = ProcessState.WAITING
+            process.domain.charge_idle(effect.seconds)
+            self._push(_Event(now + effect.seconds, next(self._seq), process))
+            return
+        if isinstance(effect, Batch):
+            process.state = ProcessState.WAITING
+            try:
+                result = self.scheduler.execute_batch(
+                    effect.requests, effect.connections, advance_clock=False
+                )
+            except ClientCrashError as crash:
+                # A crash point fired while the batch was being applied:
+                # the requests already placed survive, the process dies.
+                self._kill(process, crash, now)
+                return
+            except CloudServiceError as error:
+                process._pending_exc = error
+                self._push(_Event(now, next(self._seq), process))
+                return
+            if effect.charge:
+                process.domain.charge_busy(result.makespan)
+                resume_at = result.finished_at
+            else:
+                resume_at = now
+            process._pending_value = result
+            self._push(_Event(resume_at, next(self._seq), process))
+            return
+        raise TypeError(
+            f"process {process.name!r} yielded unknown effect {effect!r}"
+        )

@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.blob import Blob
 from repro.provenance.graph import NodeRef
 from repro.provenance.pass_collector import FlushIntent
 from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
+from repro.sim import Delay, SimKernel
 
 from repro.core.protocol_base import FlushWork
 from repro.workloads.base import MOUNT
@@ -173,6 +174,113 @@ def run_fleet(
     return FleetRunResult(
         clients=len(fleet),
         flushes=flushes,
+        elapsed_seconds=stopwatch.elapsed(),
+        operations=account.billing.operation_count() - ops_before,
+        bytes_transmitted=account.billing.bytes_transmitted() - bytes_before,
+        cost_usd=account.billing.cost() - cost_before,
+    )
+
+
+# ==========================================================================
+# Kernel-driven execution
+# ==========================================================================
+
+def client_process(
+    gateway, client: FleetClient, think_s: float, rng: random.Random
+) -> Generator:
+    """One fleet client as a kernel process: submit a flush into the
+    gateway's current window, think for a seeded-jittered interval,
+    repeat.  Submission itself is instantaneous — the gateway's
+    *time-based* window decides when the flush actually ships."""
+    for work in client.works:
+        gateway.submit(client.client_id, work)
+        yield Delay(think_s * rng.uniform(0.5, 1.5))
+
+
+def run_fleet_kernel(
+    account: CloudAccount,
+    gateway,
+    fleet: List[FleetClient],
+    seed: int = 0,
+    think_s: float = 0.5,
+    window_s: float = 0.25,
+) -> FleetRunResult:
+    """Drive the fleet concurrently on the simulation kernel: every
+    client is its own process, and the gateway flushes *time-based*
+    coalescing windows every ``window_s`` virtual seconds.  Deterministic
+    for a fixed seed and fleet."""
+    kernel = SimKernel(account)
+    stopwatch = account.stopwatch()
+    ops_before = account.billing.operation_count()
+    bytes_before = account.billing.bytes_transmitted()
+    cost_before = account.billing.cost()
+
+    gateway_process = kernel.spawn(
+        gateway.process(window_s), name="gateway", daemon=True
+    )
+    master = random.Random(seed)
+    for client in fleet:
+        rng = random.Random(master.randrange(1 << 30))
+        kernel.spawn(
+            client_process(gateway, client, think_s, rng), name=client.client_id
+        )
+    kernel.run()
+    # Let the gateway ship the tail windows the clients left behind
+    # (``busy`` also covers a window cut mid-flush by the run horizon).
+    # A crashed gateway can never drain, so stop waiting for it.
+    while gateway.busy and gateway_process.alive:
+        kernel.run(until=account.now + window_s)
+
+    return FleetRunResult(
+        clients=len(fleet),
+        flushes=sum(len(client.works) for client in fleet),
+        elapsed_seconds=stopwatch.elapsed(),
+        operations=account.billing.operation_count() - ops_before,
+        bytes_transmitted=account.billing.bytes_transmitted() - bytes_before,
+        cost_usd=account.billing.cost() - cost_before,
+    )
+
+
+def run_fleet_compat_kernel(
+    account: CloudAccount,
+    gateway,
+    fleet: List[FleetClient],
+    seed: int = 0,
+) -> FleetRunResult:
+    """Compatibility mode: the exact :func:`run_fleet` round-robin drive
+    loop, executed as a single process on the simulation kernel.  Same
+    seeded shuffle, same windows, same requests — the equivalence
+    regression test holds this to byte-identical numbers against the
+    phased driver."""
+    kernel = SimKernel(account)
+    stopwatch = account.stopwatch()
+    ops_before = account.billing.operation_count()
+    bytes_before = account.billing.bytes_transmitted()
+    cost_before = account.billing.cost()
+
+    def rounds() -> Generator:
+        rng = random.Random(seed)
+        cursors: Dict[str, int] = {client.client_id: 0 for client in fleet}
+        by_id = {client.client_id: client for client in fleet}
+        while True:
+            live = [
+                cid for cid, cursor in cursors.items()
+                if cursor < len(by_id[cid].works)
+            ]
+            if not live:
+                break
+            rng.shuffle(live)
+            for cid in live:
+                gateway.submit(cid, by_id[cid].works[cursors[cid]])
+                cursors[cid] += 1
+            yield from gateway.flush_plan()
+
+    kernel.spawn(rounds(), name="fleet-compat")
+    kernel.run()
+
+    return FleetRunResult(
+        clients=len(fleet),
+        flushes=sum(len(client.works) for client in fleet),
         elapsed_seconds=stopwatch.elapsed(),
         operations=account.billing.operation_count() - ops_before,
         bytes_transmitted=account.billing.bytes_transmitted() - bytes_before,

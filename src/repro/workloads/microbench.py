@@ -95,6 +95,62 @@ def run_microbenchmark(
         account: supply an account to keep the populated store afterwards
             (the query benchmark does this); a fresh one is made otherwise.
     """
+    account, works = _prepare_run(workload, configuration, profile, seed, account)
+    stopwatch = account.stopwatch()
+    requests = _upload_requests(account, works, configuration, connections)
+    account.scheduler.execute_batch(requests, connections)
+    return MicrobenchResult(
+        configuration=configuration,
+        elapsed_seconds=stopwatch.elapsed(),
+        operations=account.billing.operation_count(),
+        bytes_transmitted=account.billing.bytes_transmitted(),
+        cost_usd=account.billing.cost(),
+    )
+
+
+def run_microbenchmark_kernel(
+    workload: Workload,
+    configuration: str,
+    profile: SimulationProfile = SimulationProfile(),
+    connections: int = 150,
+    seed: int = 0,
+    account: Optional[CloudAccount] = None,
+) -> MicrobenchResult:
+    """Compatibility-mode kernel run of the microbenchmark: the capture
+    and request-build path is shared with :func:`run_microbenchmark`;
+    the upload executes as a single client process on the simulation
+    kernel.  The equivalence regression test holds this to byte-identical
+    numbers against the phased driver."""
+    from repro.sim import Batch, SimKernel
+
+    account, works = _prepare_run(workload, configuration, profile, seed, account)
+    stopwatch = account.stopwatch()
+    requests = _upload_requests(account, works, configuration, connections)
+
+    kernel = SimKernel(account)
+
+    def uploader():
+        yield Batch(requests, connections)
+
+    kernel.spawn(uploader(), name=f"microbench-{configuration}")
+    kernel.run()
+    return MicrobenchResult(
+        configuration=configuration,
+        elapsed_seconds=stopwatch.elapsed(),
+        operations=account.billing.operation_count(),
+        bytes_transmitted=account.billing.bytes_transmitted(),
+        cost_usd=account.billing.cost(),
+    )
+
+
+def _prepare_run(
+    workload: Workload,
+    configuration: str,
+    profile: SimulationProfile,
+    seed: int,
+    account: Optional[CloudAccount],
+) -> Tuple[CloudAccount, List[FlushWork]]:
+    """Validate, build the account, stage inputs, capture the flushes."""
     if configuration not in PROTOCOL_NAMES:
         raise ValueError(
             f"unknown configuration {configuration!r}; pick from {PROTOCOL_NAMES}"
@@ -105,9 +161,19 @@ def run_microbenchmark(
         )
     if workload.staged_inputs:
         stage_inputs(account, "pass-data", workload.staged_inputs)
-    works = capture_flush_works(workload)
-    stopwatch = account.stopwatch()
+    return account, capture_flush_works(workload)
 
+
+def _upload_requests(
+    account: CloudAccount,
+    works: List[FlushWork],
+    configuration: str,
+    connections: int,
+) -> List:
+    """Build the configuration's full upload batch (serial client CPU is
+    charged here, as the protocols do while marshalling); HEADs of
+    not-yet-existing keys are wrapped to tolerate the expected 404 — the
+    request still costs time and money."""
     if configuration == "s3fs":
         requests = []
         for work in works:
@@ -118,7 +184,6 @@ def run_microbenchmark(
             requests.append(
                 account.s3.put_request("pass-data", key, work.primary.blob)
             )
-        _execute_tolerant(account, requests, connections)
     else:
         protocol_cls = {"p1": ProtocolP1, "p2": ProtocolP2, "p3": ProtocolP3}[
             configuration
@@ -137,28 +202,7 @@ def run_microbenchmark(
                 )
             protocol.flush(work)
         requests.extend(protocol.end_deferred())
-        _execute_tolerant(account, requests, connections)
-
-    return MicrobenchResult(
-        configuration=configuration,
-        elapsed_seconds=stopwatch.elapsed(),
-        operations=account.billing.operation_count(),
-        bytes_transmitted=account.billing.bytes_transmitted(),
-        cost_usd=account.billing.cost(),
-    )
-
-
-def _execute_tolerant(
-    account: CloudAccount, requests: List, connections: int
-) -> None:
-    """Execute a batch where HEADs of not-yet-existing keys are expected
-    to 404 — the request still costs time and money."""
-    from repro.errors import NoSuchKeyError
-
-    safe = []
-    for request in requests:
-        safe.append(_tolerate_missing(request))
-    account.scheduler.execute_batch(safe, connections)
+    return [_tolerate_missing(request) for request in requests]
 
 
 def _tolerate_missing(request):

@@ -135,3 +135,182 @@ class TestCleanerDaemonGC:
         assert stats.transactions_pending == 0
         # The never-committed data must not exist at its final key.
         assert not account.s3.list_keys(protocol.bucket, "files/mnt/s3/wide/")
+
+
+def _state_snapshot(account, protocol):
+    """Byte-comparable committed state: every SimpleDB item in every shard
+    domain, every surviving S3 object (digest + metadata), and the WAL
+    backlog.  Timestamps are deliberately excluded — recovery changes
+    *when* state lands, never *what* lands."""
+    domains = {
+        domain: {
+            name: account.simpledb.peek_item(domain, name)
+            for name in account.simpledb.peek_item_names(domain)
+        }
+        for domain in protocol.router.domains
+    }
+    objects = {
+        key: (
+            account.s3.peek_latest(protocol.bucket, key).blob.digest,
+            tuple(
+                sorted(account.s3.peek_latest(protocol.bucket, key).metadata.items())
+            ),
+        )
+        for key in account.s3.peek_keys(protocol.bucket)
+    }
+    return repr((domains, objects))
+
+
+class TestKernelTakeover:
+    """§4.3.3's takeover claim, run for real on the simulation kernel:
+    daemon A crashes mid-commit, daemon B — polling the same queue as a
+    concurrent process — finishes the transaction after the WAL messages'
+    visibility timeout redelivers them."""
+
+    @staticmethod
+    def _logged_account(seed=21):
+        account = CloudAccount(seed=seed)
+        protocol = ProtocolP3(account)
+        fs = PAS3fs(account, protocol)
+        fs.run(_single_file_trace())
+        return account, protocol
+
+    @staticmethod
+    def _run_daemons(account, protocol, crash_first):
+        from repro.sim import SimKernel
+
+        kernel = SimKernel(account)
+        if crash_first:
+            account.faults.arm_crash("p3.mid_commit")
+        daemons = []
+        for index in range(2):
+            daemon = CommitDaemon(
+                account=account,
+                queue_url=protocol.queue_url,
+                bucket=protocol.bucket,
+                domain=protocol.domain,
+                router=protocol.router,
+            )
+            daemons.append(daemon)
+            kernel.spawn(
+                daemon.process(poll_interval=1.0),
+                name=f"daemon-{index}",
+                daemon=True,
+            )
+        guard = 0
+        while account.sqs.pending_count(protocol.queue_url) > 0 and guard < 200:
+            kernel.run(until=account.now + 5.0)
+            guard += 1
+        kernel.run(until=account.now + 5.0)  # settle bookkeeping
+        states = [kernel.process(f"daemon-{i}").state for i in range(2)]
+        return daemons, states
+
+    def test_daemon_b_finishes_daemon_a_transaction_byte_identically(self):
+        # Reference: the same client run, no crash, both daemons healthy.
+        ref_account, ref_protocol = self._logged_account()
+        self._run_daemons(ref_account, ref_protocol, crash_first=False)
+        reference = _state_snapshot(ref_account, ref_protocol)
+
+        # Crash run: daemon A dies mid-commit, daemon B takes over.
+        account, protocol = self._logged_account()
+        daemons, states = self._run_daemons(account, protocol, crash_first=True)
+
+        from repro.sim import ProcessState
+
+        assert states[0] is ProcessState.CRASHED
+        assert states[1] is not ProcessState.CRASHED
+        # B finished A's transaction: one commit, owned by daemon B.
+        assert daemons[0].committed_count() == 0
+        assert daemons[1].committed_count() == 1
+        assert account.faults.fired("p3.mid_commit")
+
+        # The committed state is byte-identical to the uncrashed run —
+        # "any other machine can finish the job", with nothing duplicated
+        # and nothing missing.
+        assert _state_snapshot(account, protocol) == reference
+        assert account.sqs.pending_count(protocol.queue_url) == 0
+        assert not account.s3.peek_keys(protocol.bucket, "tmp/")
+
+
+class TestDrainGuard:
+    """Satellite: drain() must fail loudly when its poll budget runs out
+    with the queue still yielding, instead of silently returning."""
+
+    def test_exhausted_drain_raises(self):
+        from repro.errors import DrainExhaustedError
+
+        account = CloudAccount(seed=9)
+        protocol = ProtocolP3(account)
+        fs = PAS3fs(account, protocol)
+        # More WAL messages than one receive can return (≤ 10): a single
+        # poll leaves a genuine backlog.
+        builder = TraceBuilder()
+        writer = builder.spawn("writer", argv=["writer"], exec_path="/bin/w")
+        for index in range(15):
+            builder.write_close(writer, f"{MOUNT}many/f{index:02d}.dat", 4096)
+        builder.exit(writer)
+        fs.run(builder.trace)
+        assert account.sqs.pending_count(protocol.queue_url) > 10
+        with pytest.raises(DrainExhaustedError):
+            protocol.commit_daemon.drain(max_polls=1)
+
+    def test_successful_drain_still_returns_stats(self):
+        account = CloudAccount(seed=9)
+        protocol = ProtocolP3(account)
+        fs = PAS3fs(account, protocol)
+        fs.run(_single_file_trace())
+        stats = protocol.commit_daemon.drain()
+        assert stats.transactions_committed == 1
+
+
+class TestCommitLagBookkeeping:
+    def test_commit_log_records_positive_lag_under_kernel(self):
+        from repro.sim import SimKernel
+
+        account, protocol = TestKernelTakeover._logged_account(seed=4)
+        kernel = SimKernel(account)
+        daemon = CommitDaemon(
+            account=account,
+            queue_url=protocol.queue_url,
+            bucket=protocol.bucket,
+            domain=protocol.domain,
+            router=protocol.router,
+        )
+        kernel.spawn(daemon.process(poll_interval=1.0), name="d", daemon=True)
+        guard = 0
+        while account.sqs.pending_count(protocol.queue_url) > 0 and guard < 50:
+            kernel.run(until=account.now + 5.0)
+            guard += 1
+        kernel.run(until=account.now + 5.0)
+        assert len(daemon.commit_log) == 1
+        record = daemon.commit_log[0]
+        assert record.committed_at > record.logged_at
+        assert record.lag == record.committed_at - record.logged_at
+
+
+class TestCleanerProcess:
+    def test_cleaner_runs_periodically_on_the_kernel(self):
+        from repro.sim import Delay, SimKernel
+
+        account = CloudAccount(seed=13)
+        protocol = ProtocolP3(account, mode=UploadMode.CAUSAL)
+        fs = PAS3fs(account, protocol)
+        account.faults.arm_crash("p3.mid_log")
+        with pytest.raises(ClientCrashError):
+            fs.run(_wide_provenance_trace())
+        account.faults.disarm_all()
+        assert account.s3.list_keys(protocol.bucket, "tmp/")
+
+        kernel = SimKernel(account)
+        interval = DEFAULT_MAX_AGE_SECONDS / 2
+        kernel.spawn(
+            protocol.cleaner_daemon.process(interval=interval),
+            name="cleaner",
+            daemon=True,
+        )
+        # Three cleaner passes fit in the horizon; only the one after the
+        # four-day threshold collects the orphans.
+        kernel.run(until=DEFAULT_MAX_AGE_SECONDS * 1.6)
+        assert protocol.cleaner_daemon.removed_total > 0
+        account.settle(60.0)
+        assert not account.s3.list_keys(protocol.bucket, "tmp/")

@@ -1,0 +1,183 @@
+"""Equivalence regression tests: the kernel's compatibility mode must
+reproduce the pre-kernel phased driver's numbers byte for byte.
+
+The compatibility mode is a single client process on the kernel, daemons
+drained at the end — the same effect plans, the other driver.  If these
+tests fail, the refactor changed the physics, not just the execution
+model."""
+
+import pytest
+
+from repro.cloud.account import CloudAccount
+from repro.core import PAS3fs, ProtocolP3, UploadMode
+from repro.provenance.syscalls import TraceBuilder
+from repro.service import IngestGateway, ShardRouter
+from repro.sim import Delay, SimKernel, run_plan_phased
+from repro.sim.events import Batch
+from repro.workloads import make_blast_workload
+from repro.workloads.base import MOUNT
+from repro.workloads.fleet import (
+    make_fleet,
+    run_fleet,
+    run_fleet_compat_kernel,
+)
+from repro.workloads.microbench import (
+    run_microbenchmark,
+    run_microbenchmark_kernel,
+)
+
+
+class TestMicrobenchmarkEquivalence:
+    """Satellite: the Figure 3 microbenchmark is identical under the
+    kernel's compatibility mode."""
+
+    @pytest.mark.parametrize("configuration", ["s3fs", "p1", "p2", "p3"])
+    def test_fig3_numbers_identical(self, configuration):
+        workload = make_blast_workload(jobs=2, queries_per_job=30)
+        phased = run_microbenchmark(workload, configuration, seed=0)
+        kernel = run_microbenchmark_kernel(workload, configuration, seed=0)
+        assert kernel == phased  # every field, including elapsed seconds
+
+
+class TestMultitenantEquivalence:
+    """Satellite: the multitenant scaling benchmark's fleet drive loop is
+    identical under the kernel's compatibility mode."""
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_fleet_numbers_identical(self, shards):
+        def drive(runner):
+            account = CloudAccount(seed=0)
+            gateway = IngestGateway(account, ShardRouter(shards=shards))
+            fleet = make_fleet(
+                clients=8, files_per_client=3, extra_attributes=16, seed=0
+            )
+            result = runner(account, gateway, fleet, seed=0)
+            return result, gateway.stats
+
+        phased, phased_stats = drive(run_fleet)
+        compat, compat_stats = drive(run_fleet_compat_kernel)
+        assert compat == phased
+        assert compat_stats.windows == phased_stats.windows
+        assert compat_stats.sdb_batches == phased_stats.sdb_batches
+        assert compat_stats.sdb_batches_saved == phased_stats.sdb_batches_saved
+
+
+class TestP3FlushEquivalence:
+    """flush_plan on the kernel issues identical traffic to the phased
+    flush: elapsed time, operations, bytes, and committed state."""
+
+    @staticmethod
+    def _trace():
+        builder = TraceBuilder()
+        proc = builder.spawn("writer", argv=["writer"], exec_path="/bin/writer")
+        builder.read(proc, "/local/in.dat", 2048)
+        for index in range(3):
+            builder.write_close(proc, f"{MOUNT}eq/f{index}.dat", 48 * 1024)
+        builder.exit(proc)
+        return builder.trace
+
+    @staticmethod
+    def _capture_works(account):
+        """Collect the flush works a PAS3fs run would issue, without
+        executing any cloud traffic."""
+        from repro.core.protocol_base import FlushWork
+        from repro.provenance.pass_collector import FlushIntent, PassCollector
+
+        collector = PassCollector()
+        works = []
+        for event in TestP3FlushEquivalence._trace():
+            for intent in collector.feed(event):
+                if isinstance(intent, FlushIntent) and intent.path.startswith(MOUNT):
+                    works.append(
+                        FlushWork(
+                            primary=intent,
+                            bundles=collector.pop_pending_closure(intent.uuid),
+                        )
+                    )
+        return works
+
+    def _snapshot(self, account, protocol):
+        domain_items = {
+            name: account.simpledb.peek_item(protocol.domain, name)
+            for name in account.simpledb.peek_item_names(protocol.domain)
+        }
+        keys = account.s3.peek_keys(protocol.bucket)
+        objects = {
+            key: (
+                record.blob.digest,
+                tuple(sorted(record.metadata.items())),
+            )
+            for key in keys
+            for record in [account.s3.peek_latest(protocol.bucket, key)]
+        }
+        return repr((domain_items, objects))
+
+    def test_flush_plan_matches_phased_flush(self):
+        # Phased: flush() per work, daemon drained afterwards.
+        phased_account = CloudAccount(seed=5)
+        phased_p3 = ProtocolP3(phased_account, mode=UploadMode.PARALLEL)
+        for work in self._capture_works(phased_account):
+            phased_p3.flush(work)
+        phased_elapsed = phased_account.now
+        phased_p3.finalize()
+
+        # Kernel compatibility mode: one client process over flush_plan,
+        # daemon drained afterwards.
+        kernel_account = CloudAccount(seed=5)
+        kernel_p3 = ProtocolP3(kernel_account, mode=UploadMode.PARALLEL)
+        kernel = SimKernel(kernel_account)
+
+        def client():
+            for work in self._capture_works(kernel_account):
+                yield from kernel_p3.flush_plan(work)
+
+        kernel.spawn(client(), name="client")
+        kernel.run()
+        kernel_elapsed = kernel_account.now
+        kernel_p3.finalize()
+
+        assert kernel_elapsed == phased_elapsed
+        assert (
+            kernel_account.billing.operation_count()
+            == phased_account.billing.operation_count()
+        )
+        assert (
+            kernel_account.billing.bytes_transmitted()
+            == phased_account.billing.bytes_transmitted()
+        )
+        assert self._snapshot(kernel_account, kernel_p3) == self._snapshot(
+            phased_account, phased_p3
+        )
+
+
+class TestPhasedPlanDriver:
+    """run_plan_phased maps effects onto the pre-kernel semantics."""
+
+    def test_delay_advances_clock_and_batch_respects_advance_clock(self):
+        account = CloudAccount()
+        account.s3.create_bucket("b")
+
+        def plan():
+            from repro.cloud.blob import Blob
+
+            yield Delay(3.0)
+            yield Batch(
+                [account.s3.put_request("b", "k", Blob.synthetic(512, "k"))],
+                connections=1,
+            )
+            return "done"
+
+        result = run_plan_phased(account, plan(), advance_clock=False)
+        assert result == "done"
+        # The delay advanced the clock; the uncharged batch did not.
+        assert account.now == pytest.approx(3.0)
+        assert account.billing.operation_count() == 1
+
+    def test_unknown_effect_rejected(self):
+        account = CloudAccount()
+
+        def plan():
+            yield object()
+
+        with pytest.raises(TypeError):
+            run_plan_phased(account, plan())
