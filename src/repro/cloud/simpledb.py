@@ -16,13 +16,31 @@ Semantics implemented (§2.3 of the paper):
 Pagination is capped at :data:`SELECT_PAGE_ITEMS` items (standing in for
 SimpleDB's 1 MB/2500-item response limits) — this is why the paper's Q1
 needs several sequential round-trips on SimpleDB.
+
+Select execution is *indexed*, like the real service: every
+``put``/``batch_put``/``delete`` incrementally maintains per-domain
+secondary indexes (attribute-value → item names, plus the sorted
+item-name order), and a small planner extracts index-usable predicates
+from the parsed WHERE tree.  The indexes over-approximate — they record
+every value an item has *ever* held — so each candidate is still
+verified through the same eventually-consistent ``_observe`` read the
+full scan uses, keeping answers, row ordering, and billing byte-identical
+to the ``use_indexes=False`` scan fallback.  A chain of pages runs off a
+snapshot token: the match set is computed once at the first page and
+served page by page, instead of re-matching the whole domain per page.
+This makes a chain a *snapshot-consistent cursor* — a deliberate
+semantic choice: writes whose visibility window elapses mid-chain no
+longer surface in later pages (the pre-snapshot engine re-matched per
+page and could; legacy numeric offset tokens keep that behaviour).
 """
 
 from __future__ import annotations
 
+import bisect
 import re
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.cloud.billing import BillingMeter
 from repro.cloud.consistency import ConsistencyEngine, VersionedRegister
@@ -70,6 +88,23 @@ class _Comparison(_Condition):
     attribute: str
     op: str
     values: List[str]
+    #: Compiled once at parse time.  Rebuilding the ``^...$`` regex per
+    #: row dominated full-scan matching; conditions are immutable after
+    #: parsing (``parse_select`` shares them through an LRU cache).
+    _like_re: "Optional[re.Pattern[str]]" = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.op == "like":
+            # re.escape turns % into \%; rewrite those as wildcards.
+            pattern = self.values[0]
+            regex = (
+                "^"
+                + re.escape(pattern).replace("\\%", ".*").replace("%", ".*")
+                + "$"
+            )
+            self._like_re = re.compile(regex)
 
     def matches(self, item_name: str, attributes: ItemAttributes) -> bool:
         if self.attribute == "itemName()":
@@ -82,14 +117,23 @@ class _Comparison(_Condition):
             # SimpleDB: true if any value differs (and the attribute exists).
             return any(v != self.values[0] for v in candidates)
         if self.op == "like":
-            # re.escape turns % into \%; rewrite those as wildcards.
-            pattern = self.values[0]
-            regex = "^" + re.escape(pattern).replace("\\%", ".*").replace("%", ".*") + "$"
-            return any(re.match(regex, v) for v in candidates)
+            like_re = self._like_re
+            return any(like_re.match(v) for v in candidates)
         if self.op == "in":
             allowed = set(self.values)
             return any(v in allowed for v in candidates)
         raise QuerysyntaxError(f"unsupported operator {self.op!r}")
+
+    def like_prefix(self) -> Optional[str]:
+        """The pure prefix of a ``LIKE 'prefix%'`` pattern, or ``None``
+        when the pattern wildcards anywhere but the tail (those fall back
+        to scan matching)."""
+        pattern = self.values[0]
+        if pattern.endswith("%") and "%" not in pattern[:-1]:
+            return pattern[:-1]
+        if "%" not in pattern:
+            return pattern  # exact match; range degenerates to one name
+        return None
 
 
 @dataclass
@@ -228,12 +272,8 @@ _SELECT_RE = re.compile(
 )
 
 
-def parse_select(expression: str) -> Tuple[str, Optional[_Condition]]:
-    """Parse a ``SELECT * FROM domain [WHERE ...]`` expression.
-
-    Returns the domain name and the parsed condition (``None`` for no
-    WHERE clause).
-    """
+@lru_cache(maxsize=1024)
+def _parse_select_cached(expression: str) -> Tuple[str, Optional[_Condition]]:
     match = _SELECT_RE.match(expression)
     if not match:
         raise QuerysyntaxError(f"cannot parse select expression: {expression!r}")
@@ -243,6 +283,142 @@ def parse_select(expression: str) -> Tuple[str, Optional[_Condition]]:
     where = match.group(2)
     condition = _Parser(_tokenize(where)).parse() if where else None
     return domain, condition
+
+
+def parse_select(expression: str) -> Tuple[str, Optional[_Condition]]:
+    """Parse a ``SELECT * FROM domain [WHERE ...]`` expression.
+
+    Returns the domain name and the parsed condition (``None`` for no
+    WHERE clause).  Results are LRU-cached — conditions are immutable
+    after parsing, so repeated selects (a paging chain, a daemon's poll
+    loop) share one compiled condition tree.
+    """
+    return _parse_select_cached(expression)
+
+
+@dataclass(frozen=True)
+class PreparedSelect:
+    """A parsed select, reusable across a whole next-token page chain.
+
+    Build one with :func:`prepare_select` (or implicitly by passing an
+    expression string to ``select_request``); pass it back for every
+    continuation page so the expression is parsed and planned once per
+    chain rather than once per page.
+    """
+
+    expression: str
+    domain: str
+    condition: Optional[_Condition]
+
+
+def prepare_select(expression: str) -> PreparedSelect:
+    """Parse an expression into a reusable :class:`PreparedSelect`."""
+    domain, condition = parse_select(expression)
+    return PreparedSelect(expression=expression, domain=domain, condition=condition)
+
+
+# --------------------------------------------------------------------------
+# Per-domain state: the registry plus incrementally maintained indexes
+# --------------------------------------------------------------------------
+
+class _DomainState:
+    """One domain's item registry and its secondary indexes.
+
+    The indexes are *over-approximations* maintained on every write: they
+    record every attribute-value pair an item has ever held (replace and
+    delete never un-index), so an index lookup yields a superset of the
+    items matching at any observation time.  Every candidate is then
+    verified through ``_observe`` + the full condition, which is what
+    keeps indexed selects byte-identical to scans under eventual
+    consistency.  Values form sets, so re-puts of the same pair (the
+    commit daemon's idempotent re-commits) never double-index.
+    """
+
+    __slots__ = ("registry", "names", "by_attr")
+
+    def __init__(self) -> None:
+        self.registry: Dict[str, VersionedRegister[ItemAttributes]] = {}
+        #: Every item name ever written, kept sorted incrementally
+        #: (``bisect.insort`` on first insert) — select page order and
+        #: ``itemName() like 'prefix%'`` ranges read straight off it.
+        self.names: List[str] = []
+        #: attribute -> value -> set of item names that ever held it.
+        self.by_attr: Dict[str, Dict[str, Set[str]]] = {}
+
+    def note_item(self, name: str) -> None:
+        if name not in self.registry:
+            bisect.insort(self.names, name)
+
+    def note_pairs(self, name: str, pairs: Sequence[Tuple[str, str]]) -> None:
+        for attribute, value in pairs:
+            self.by_attr.setdefault(attribute, {}).setdefault(value, set()).add(
+                name
+            )
+
+    def names_with(self, attribute: str, value: str) -> Set[str]:
+        values = self.by_attr.get(attribute)
+        if not values:
+            return set()
+        return values.get(value, set())
+
+    def names_with_prefix(self, prefix: str) -> List[str]:
+        start = bisect.bisect_left(self.names, prefix)
+        out: List[str] = []
+        for index in range(start, len(self.names)):
+            name = self.names[index]
+            if not name.startswith(prefix):
+                break
+            out.append(name)
+        return out
+
+
+def _plan_candidates(
+    condition: _Condition, state: _DomainState
+) -> Optional[Set[str]]:
+    """Extract an index-usable candidate set from a condition tree.
+
+    Returns ``None`` when no index applies (the caller scans), otherwise
+    a superset of the item names that can match.  Rules:
+
+    - ``attr = 'v'`` / ``attr IN (...)`` — hash-index lookups,
+    - ``itemName()`` comparisons — the sorted-name structure (``LIKE
+      'prefix%'`` becomes a binary-searched range),
+    - ``a AND b`` — intersect when both sides are indexable, else use
+      whichever side is (the unindexed side is enforced by verification),
+    - ``a OR b`` — union, but only when *both* sides are indexable,
+    - ``!=`` and non-prefix ``LIKE`` — never indexable.
+    """
+    if isinstance(condition, _BoolOp):
+        left = _plan_candidates(condition.left, state)
+        right = _plan_candidates(condition.right, state)
+        if condition.op == "and":
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return left & right
+        if left is None or right is None:
+            return None
+        return left | right
+    if not isinstance(condition, _Comparison):
+        return None
+    if condition.op == "=":
+        if condition.attribute == "itemName()":
+            return {condition.values[0]}
+        return set(state.names_with(condition.attribute, condition.values[0]))
+    if condition.op == "in":
+        if condition.attribute == "itemName()":
+            return set(condition.values)
+        out: Set[str] = set()
+        for value in condition.values:
+            out |= state.names_with(condition.attribute, value)
+        return out
+    if condition.op == "like" and condition.attribute == "itemName()":
+        prefix = condition.like_prefix()
+        if prefix is None:
+            return None
+        return set(state.names_with_prefix(prefix))
+    return None
 
 
 # --------------------------------------------------------------------------
@@ -261,6 +437,24 @@ class SelectPage:
         return not self.next_token
 
 
+@dataclass
+class SelectEngineStats:
+    """How select chains were answered (diagnostics for tests/benchmarks).
+
+    One chain = one expression run to completion through its next-token
+    pages; the match set is computed once, at the first page.
+    """
+
+    #: Chains whose WHERE tree yielded an index candidate set.
+    indexed: int = 0
+    #: Chains with a WHERE clause the planner could not index.
+    scanned: int = 0
+    #: Chains with no WHERE clause (``select * from d`` — always a scan).
+    unconditional: int = 0
+    #: Pages resumed from a legacy numeric offset token (re-matched).
+    legacy_tokens: int = 0
+
+
 def _pairs_size(pairs: Sequence[Tuple[str, str]]) -> int:
     return sum(len(a.encode()) + len(v.encode()) for a, v in pairs)
 
@@ -276,12 +470,22 @@ class SimpleDBService:
         profile: ServiceProfile,
         billing: BillingMeter,
         consistency: Optional[ConsistencyEngine] = None,
+        use_indexes: bool = True,
     ):
         self._scheduler = scheduler
         self._profile = profile
         self._billing = billing
         self._consistency = consistency or ConsistencyEngine()
-        self._domains: Dict[str, Dict[str, VersionedRegister[ItemAttributes]]] = {}
+        self._domains: Dict[str, _DomainState] = {}
+        #: When false the planner is bypassed and every select chain
+        #: scans — the regression baseline.  Indexes are maintained
+        #: either way, so the flag can be toggled mid-run.
+        self.use_indexes = use_indexes
+        self.select_stats = SelectEngineStats()
+        #: Snapshot id -> the chain's full materialized match list;
+        #: created at a chain's first page, dropped at its last.
+        self._select_snapshots: Dict[int, List[Tuple[str, ItemAttributes]]] = {}
+        self._snapshot_seq = 0
 
     @property
     def profile(self) -> ServiceProfile:
@@ -289,9 +493,9 @@ class SimpleDBService:
 
     def create_domain(self, domain: str) -> None:
         """Create a domain (idempotent, free)."""
-        self._domains.setdefault(domain, {})
+        self._domains.setdefault(domain, _DomainState())
 
-    def _domain(self, domain: str) -> Dict[str, VersionedRegister[ItemAttributes]]:
+    def _domain(self, domain: str) -> _DomainState:
         try:
             return self._domains[domain]
         except KeyError:
@@ -315,7 +519,7 @@ class SimpleDBService:
                 f"BatchPutAttributes limited to {BATCH_PUT_LIMIT} items, got {len(items)}"
             )
         self._validate_items(items)
-        registry = self._domain(domain)
+        state = self._domain(domain)
         payload = sum(_pairs_size(pairs) + len(name.encode()) for name, pairs in items)
         item_count = len(items)
         # The service's per-unit cost scales with attribute-value pairs
@@ -324,7 +528,7 @@ class SimpleDBService:
 
         def apply(start: float, finish: float) -> None:
             for name, pairs in items:
-                self._merge_item(registry, name, pairs, replace, finish)
+                self._merge_item(state, name, pairs, replace, finish)
             self._billing.record(
                 "simpledb", "BatchPutAttributes", bytes_in=payload, items=attr_pairs
             )
@@ -347,11 +551,11 @@ class SimpleDBService:
     ) -> Request:
         """Build a single-item ``PutAttributes`` request."""
         self._validate_items([(item, pairs)])
-        registry = self._domain(domain)
+        state = self._domain(domain)
         payload = _pairs_size(pairs) + len(item.encode())
 
         def apply(start: float, finish: float) -> None:
-            self._merge_item(registry, item, pairs, replace, finish)
+            self._merge_item(state, item, pairs, replace, finish)
             self._billing.record(
                 "simpledb", "PutAttributes", bytes_in=payload, items=len(pairs)
             )
@@ -365,13 +569,39 @@ class SimpleDBService:
             label=f"sdb.Put {domain}/{item}",
         )
 
+    def delete_request(self, domain: str, item: str) -> Request:
+        """Build a ``DeleteAttributes`` request for a whole item.
+
+        Writes a deletion tombstone: once it propagates, the item
+        disappears from gets and selects.  The secondary indexes keep
+        their entries (they over-approximate); ``_observe`` filters the
+        tombstoned item out of every candidate set, so indexed and
+        scanned selects agree."""
+        state = self._domain(domain)
+        payload = len(item.encode())
+
+        def apply(start: float, finish: float) -> None:
+            register = state.registry.get(item)
+            if register is not None:
+                visible = self._consistency.visibility_for(finish)
+                register.delete(finish, visible)
+            # Deleting an absent item is a billable no-op (idempotent).
+            self._billing.record("simpledb", "DeleteAttributes", bytes_in=payload)
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            payload_bytes=payload,
+            label=f"sdb.Delete {domain}/{item}",
+        )
+
     def get_request(self, domain: str, item: str) -> Request:
         """Build a ``GetAttributes`` request; resolves to the item's
         attributes (empty dict if the item is absent or not yet visible)."""
-        registry = self._domain(domain)
+        state = self._domain(domain)
 
         def apply(start: float, finish: float) -> ItemAttributes:
-            attributes = self._observe(registry, item, start)
+            attributes = self._observe(state.registry, item, start)
             size = sum(
                 len(a) + sum(len(v) for v in vals) for a, vals in attributes.items()
             )
@@ -385,26 +615,49 @@ class SimpleDBService:
             label=f"sdb.Get {domain}/{item}",
         )
 
-    def select_request(self, expression: str, next_token: str = "") -> Request:
+    def select_request(
+        self, expression: Union[str, PreparedSelect], next_token: str = ""
+    ) -> Request:
         """Build one ``Select`` page request; resolves to
         :class:`SelectPage`.  Pages must be fetched sequentially — each
         next-token comes from the previous page (the reason the paper's Q1
-        cannot be parallelized on SimpleDB)."""
-        domain_name, condition = parse_select(expression)
-        registry = self._domain(domain_name)
-        offset = int(next_token) if next_token else 0
+        cannot be parallelized on SimpleDB).
+
+        ``expression`` may be a raw string (parsed through the LRU cache)
+        or a :class:`PreparedSelect` reused across the whole chain.  The
+        first page plans the query — index candidates when the WHERE tree
+        allows, full scan otherwise — materializes the match list once,
+        and issues a snapshot token; continuation pages serve from the
+        snapshot instead of re-matching the domain."""
+        prepared = (
+            expression
+            if isinstance(expression, PreparedSelect)
+            else prepare_select(expression)
+        )
+        state = self._domain(prepared.domain)
+        condition = prepared.condition
 
         def apply(start: float, finish: float) -> SelectPage:
-            matches: List[Tuple[str, ItemAttributes]] = []
-            for name in sorted(registry):
-                attributes = self._observe(registry, name, start)
-                if not attributes:
-                    continue
-                if condition is None or condition.matches(name, attributes):
-                    matches.append((name, {a: list(v) for a, v in attributes.items()}))
+            snapshot_id: Optional[int] = None
+            if next_token:
+                snapshot_id, offset, matches = self._resume_select(
+                    next_token, state, condition, start
+                )
+            else:
+                offset = 0
+                matches = self._match_rows(state, condition, start)
             page = matches[offset : offset + SELECT_PAGE_ITEMS]
             done = offset + SELECT_PAGE_ITEMS >= len(matches)
-            token = "" if done else str(offset + SELECT_PAGE_ITEMS)
+            if done:
+                token = ""
+                if snapshot_id is not None:
+                    self._select_snapshots.pop(snapshot_id, None)
+            else:
+                if snapshot_id is None:
+                    self._snapshot_seq += 1
+                    snapshot_id = self._snapshot_seq
+                    self._select_snapshots[snapshot_id] = matches
+                token = f"snap-{snapshot_id}:{offset + SELECT_PAGE_ITEMS}"
             size = sum(
                 len(n)
                 + sum(len(a) + sum(len(v) for v in vals) for a, vals in attrs.items())
@@ -418,7 +671,7 @@ class SimpleDBService:
             apply=apply,
             response_bytes=0,
             read_only=True,
-            label=f"sdb.Select {expression[:60]}",
+            label=f"sdb.Select {prepared.expression[:60]}",
         )
 
     # -- sequential conveniences ----------------------------------------------
@@ -440,13 +693,25 @@ class SimpleDBService:
     def get_attributes(self, domain: str, item: str) -> ItemAttributes:
         return self._scheduler.execute_one(self.get_request(domain, item))
 
-    def select(self, expression: str) -> List[Tuple[str, ItemAttributes]]:
-        """Run a Select to completion, following next-tokens sequentially."""
+    def delete_attributes(self, domain: str, item: str) -> None:
+        self._scheduler.execute_one(self.delete_request(domain, item))
+
+    def select(
+        self, expression: Union[str, PreparedSelect]
+    ) -> List[Tuple[str, ItemAttributes]]:
+        """Run a Select to completion, following next-tokens sequentially.
+        The expression is parsed/planned once and the one
+        :class:`PreparedSelect` is reused across the page chain."""
+        prepared = (
+            expression
+            if isinstance(expression, PreparedSelect)
+            else prepare_select(expression)
+        )
         rows: List[Tuple[str, ItemAttributes]] = []
         token = ""
         while True:
             page: SelectPage = self._scheduler.execute_one(
-                self.select_request(expression, token)
+                self.select_request(prepared, token)
             )
             rows.extend(page.rows)
             if page.complete:
@@ -480,13 +745,14 @@ class SimpleDBService:
 
     def _merge_item(
         self,
-        registry: Dict[str, VersionedRegister[ItemAttributes]],
+        state: _DomainState,
         name: str,
         pairs: Sequence[Tuple[str, str]],
         replace: bool,
         committed_at: float,
     ) -> None:
-        register = registry.setdefault(name, VersionedRegister())
+        state.note_item(name)
+        register = state.registry.setdefault(name, VersionedRegister())
         latest = register.read_latest_committed(committed_at)
         current: ItemAttributes = {}
         if latest is not None and not latest.deleted and latest.value:
@@ -501,8 +767,92 @@ class SimpleDBService:
             values = current.setdefault(attribute, [])
             if value not in values:
                 values.append(value)
+        # Index the incoming pairs (set semantics: re-puts are no-ops;
+        # earlier versions' values are already indexed, so the index stays
+        # a superset of what any observation time can see).
+        state.note_pairs(name, pairs)
         visible = self._consistency.visibility_for(committed_at)
         register.write(current, committed_at, visible)
+
+    def _match_rows(
+        self,
+        state: _DomainState,
+        condition: Optional[_Condition],
+        start: float,
+        count_stats: bool = True,
+    ) -> List[Tuple[str, ItemAttributes]]:
+        """Materialize a select chain's full match list, in item-name
+        order, as observed at time ``start``.
+
+        The planner narrows the walk to index candidates when it can;
+        either way every surviving name goes through the same
+        ``_observe`` + condition verification, so the indexed and scan
+        paths return byte-identical rows.  ``count_stats`` is false for
+        legacy-token re-matches, which are continuation pages of a chain
+        already counted."""
+        candidates: Optional[Set[str]] = None
+        if condition is None:
+            if count_stats:
+                self.select_stats.unconditional += 1
+        elif self.use_indexes:
+            candidates = _plan_candidates(condition, state)
+            if count_stats:
+                if candidates is None:
+                    self.select_stats.scanned += 1
+                else:
+                    self.select_stats.indexed += 1
+        elif count_stats:
+            self.select_stats.scanned += 1
+        names: Sequence[str] = (
+            state.names if candidates is None else sorted(candidates)
+        )
+        matches: List[Tuple[str, ItemAttributes]] = []
+        for name in names:
+            attributes = self._observe(state.registry, name, start)
+            if not attributes:
+                continue
+            if condition is None or condition.matches(name, attributes):
+                matches.append(
+                    (name, {a: list(v) for a, v in attributes.items()})
+                )
+        return matches
+
+    def _resume_select(
+        self,
+        token: str,
+        state: _DomainState,
+        condition: Optional[_Condition],
+        start: float,
+    ) -> Tuple[Optional[int], int, List[Tuple[str, ItemAttributes]]]:
+        """Resolve a continuation token to (snapshot id, offset, match
+        list).  Legacy bare-offset tokens (pre-snapshot clients) re-match
+        the domain at this page's observation time, as the old engine
+        did."""
+        if token.startswith("snap-"):
+            head, _, offset_text = token[len("snap-"):].partition(":")
+            try:
+                snapshot_id = int(head)
+                offset = int(offset_text)
+            except ValueError:
+                raise InvalidRequestError(
+                    f"malformed select token {token!r}"
+                ) from None
+            matches = self._select_snapshots.get(snapshot_id)
+            if matches is None:
+                raise InvalidRequestError(
+                    f"select token {token!r} has expired"
+                )
+            return snapshot_id, offset, matches
+        try:
+            offset = int(token)
+        except ValueError:
+            raise InvalidRequestError(
+                f"malformed select token {token!r}"
+            ) from None
+        self.select_stats.legacy_tokens += 1
+        return None, offset, self._match_rows(
+            state, condition, start, count_stats=False
+        )
 
     def _observe(
         self,
@@ -522,7 +872,8 @@ class SimpleDBService:
 
     def peek_item(self, domain: str, item: str) -> ItemAttributes:
         """Fully propagated item state (tests only)."""
-        register = self._domains.get(domain, {}).get(item)
+        state = self._domains.get(domain)
+        register = state.registry.get(item) if state is not None else None
         if register is None:
             return {}
         version = register.read_latest_committed(float("inf"))
@@ -532,9 +883,21 @@ class SimpleDBService:
 
     def peek_item_names(self, domain: str) -> List[str]:
         """All item names with visible-eventually state (tests only)."""
+        state = self._domains.get(domain)
+        if state is None:
+            return []
         names = []
-        for name, register in self._domains.get(domain, {}).items():
+        for name, register in state.registry.items():
             version = register.read_latest_committed(float("inf"))
             if version is not None and not version.deleted and version.value:
                 names.append(name)
         return sorted(names)
+
+    def index_cardinality(self, domain: str, attribute: str, value: str) -> int:
+        """How many item names the secondary index holds for
+        ``attribute = value`` (tests & planner diagnostics).  Set
+        semantics: idempotent re-puts must not grow this."""
+        state = self._domains.get(domain)
+        if state is None:
+            return 0
+        return len(state.names_with(attribute, value))

@@ -14,7 +14,7 @@ object, and deletes the stale ones.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, Optional
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.network import Request
@@ -45,6 +45,10 @@ class CleanerDaemon:
         self.charge_time = charge_time
         #: Cumulative temporaries removed (the kernel process's counter).
         self.removed_total = 0
+        #: The first LIST page request (marker "") reused across passes —
+        #: every poll starts with the same listing; continuation markers
+        #: vary per pass and are built fresh.
+        self._first_list: Optional[Request] = None
 
     def clean(self) -> int:
         """One cleaning pass (phased driver); returns temporaries removed."""
@@ -59,10 +63,17 @@ class CleanerDaemon:
         keys: List[str] = []
         marker = ""
         while True:
-            batch = yield Batch(
-                [self.account.s3.list_request(self.bucket, "tmp/", marker)],
-                self.connections,
-            )
+            if marker:
+                list_request = self.account.s3.list_request(
+                    self.bucket, "tmp/", marker
+                )
+            else:
+                if self._first_list is None:
+                    self._first_list = self.account.s3.list_request(
+                        self.bucket, "tmp/", ""
+                    )
+                list_request = self._first_list
+            batch = yield Batch([list_request], self.connections)
             page, marker = batch.results[0]
             keys.extend(page)
             if not marker:

@@ -128,6 +128,19 @@ class CommitDaemon:
         self._logged_at: Dict[str, float] = {}
         #: Timeline of every commit this daemon finished (commit lag).
         self.commit_log: List[CommitRecord] = []
+        #: max_messages -> the one ReceiveMessage request reused across
+        #: polls (building it validates arguments and resolves the queue;
+        #: executing it re-applies against live queue state each time).
+        self._receive_plans: Dict[int, Request] = {}
+
+    def _receive_request(self, max_messages: int) -> Request:
+        request = self._receive_plans.get(max_messages)
+        if request is None:
+            request = self.account.sqs.receive_request(
+                self.queue_url, max_messages=max_messages
+            )
+            self._receive_plans[max_messages] = request
+        return request
 
     # -- scheduling that respects the async accounting ------------------------
 
@@ -144,9 +157,7 @@ class CommitDaemon:
     def poll_once(self) -> int:
         """Receive one batch of messages; commit any transactions they
         complete.  Returns the number of messages received."""
-        messages: List[Message] = self._run(
-            [self.account.sqs.receive_request(self.queue_url, max_messages=10)]
-        )[0]
+        messages: List[Message] = self._run([self._receive_request(10)])[0]
         for message in messages:
             self._ingest(message)
         self._commit_ready()
@@ -198,11 +209,7 @@ class CommitDaemon:
         never returns; the kernel stops it when the experiment ends."""
         while True:
             batch = yield Batch(
-                [
-                    self.account.sqs.receive_request(
-                        self.queue_url, max_messages=max_messages
-                    )
-                ],
+                [self._receive_request(max_messages)],
                 connections=1,
             )
             messages: List[Message] = batch.results[0]

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.account import CloudAccount
+from repro.cloud.simpledb import PreparedSelect, prepare_select
 from repro.errors import NoSuchKeyError
 from repro.provenance.graph import NodeRef
 from repro.provenance.serialization import decode_records
@@ -255,12 +256,20 @@ class SimpleDBQueryEngine:
             resolved.setdefault(attribute, []).extend(out)
         return resolved
 
+    def _paged_rows(
+        self, prepared: PreparedSelect
+    ) -> List[Tuple[str, Dict[str, List[str]]]]:
+        """One select chain run to completion: the single parsed/planned
+        :class:`PreparedSelect` is reused across every next-token page
+        instead of re-parsing the expression per page."""
+        return self.account.simpledb.select(prepared)
+
     def _select_procs_named(self, program: str) -> List[NodeRef]:
         refs: List[NodeRef] = []
         for domain in self._domains():
-            rows = self.account.simpledb.select(
+            rows = self._paged_rows(prepare_select(
                 f"select * from {domain} where name = '{program}' and type = 'proc'"
-            )
+            ))
             refs.extend(NodeRef.parse(name) for name, _ in rows)
         return refs
 
@@ -271,16 +280,19 @@ class SimpleDBQueryEngine:
         issued as chunked ``IN`` selects (parallelizable — each chunk is
         independent, unlike Q1's next-token chain).  With a sharded
         router the referencing items may live in any domain, so each
-        chunk fans out to every shard."""
+        chunk fans out to every shard.  Each chunk's expression is
+        prepared once and reused for its whole continuation chain."""
         chunks = [
             list(targets[i : i + _IN_CHUNK])
             for i in range(0, len(targets), _IN_CHUNK)
         ]
-        expressions = [
-            "select * from {} where {} in ({})".format(
-                domain,
-                attribute,
-                ", ".join(f"'{ref}'" for ref in chunk),
+        selects = [
+            prepare_select(
+                "select * from {} where {} in ({})".format(
+                    domain,
+                    attribute,
+                    ", ".join(f"'{ref}'" for ref in chunk),
+                )
             )
             for domain in self._domains()
             for chunk in chunks
@@ -288,7 +300,8 @@ class SimpleDBQueryEngine:
         rows: List[Tuple[str, Dict[str, List[str]]]] = []
         if parallel:
             requests = [
-                self.account.simpledb.select_request(expr) for expr in expressions
+                self.account.simpledb.select_request(prepared)
+                for prepared in selects
             ]
             batch = self.account.scheduler.execute_batch(
                 requests, self.parallel_connections
@@ -300,14 +313,14 @@ class SimpleDBQueryEngine:
                 while token:
                     next_page = self.account.scheduler.execute_one(
                         self.account.simpledb.select_request(
-                            expressions[expr_index], token
+                            selects[expr_index], token
                         )
                     )
                     rows.extend(next_page.rows)
                     token = next_page.next_token
         else:
-            for expr in expressions:
-                rows.extend(self.account.simpledb.select(expr))
+            for prepared in selects:
+                rows.extend(self._paged_rows(prepared))
         return rows
 
     # -- the four queries ------------------------------------------------------------
@@ -322,7 +335,7 @@ class SimpleDBQueryEngine:
         window = _Measured(self.account)
         rows: List[Tuple[str, Dict[str, List[str]]]] = []
         for domain in self._domains():
-            rows.extend(self.account.simpledb.select(f"select * from {domain}"))
+            rows.extend(self._paged_rows(prepare_select(f"select * from {domain}")))
         index = self._rows_to_index(rows)
         return index, window.stats()
 
@@ -335,11 +348,11 @@ class SimpleDBQueryEngine:
         uuid = head.metadata.get("prov-uuid", "")
         merged: Dict[str, List[str]] = {}
         if uuid:
-            rows = self.account.simpledb.select(
+            rows = self._paged_rows(prepare_select(
                 "select * from {} where itemName() like '{}_%'".format(
                     self._domain_for_uuid(uuid), uuid
                 )
-            )
+            ))
             for _name, attributes in rows:
                 for attribute, values in self._resolve(attributes).items():
                     merged.setdefault(attribute, []).extend(values)
@@ -427,9 +440,11 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
         if not parallel or len(self._domains()) == 1:
             return super().q1_all_provenance(parallel=False)
         window = _Measured(self.account)
-        expressions = [f"select * from {domain}" for domain in self._domains()]
+        selects = [
+            prepare_select(f"select * from {domain}") for domain in self._domains()
+        ]
         batch = self.account.scheduler.execute_batch(
-            [self.account.simpledb.select_request(expr) for expr in expressions],
+            [self.account.simpledb.select_request(p) for p in selects],
             self.parallel_connections,
         )
         rows: List[Tuple[str, Dict[str, List[str]]]] = []
@@ -439,7 +454,7 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
             while token:
                 next_page = self.account.scheduler.execute_one(
                     self.account.simpledb.select_request(
-                        expressions[expr_index], token
+                        selects[expr_index], token
                     )
                 )
                 rows.extend(next_page.rows)
