@@ -8,6 +8,7 @@ The ``benchmarks/`` pytest files call these and print the renderings, so
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -1347,6 +1348,434 @@ def select_scaling(
             )
         points.append(SelectScalingPoint(items=count, cells=cells))
     return SelectScalingResult(points=points, repeats=repeats)
+
+
+# ==========================================================================
+# Chaos schedules and SLO sizing — the fault-schedule scenario family
+# ==========================================================================
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[min(len(ordered), max(1, rank)) - 1]
+
+
+@dataclass
+class ChaosSLOPoint:
+    """One (fleet size, daemon count, schedule) chaos run's measurements."""
+
+    clients: int
+    daemons: int
+    schedule: str
+    flushes: int
+    committed: int
+    elapsed_seconds: float
+    #: Last client finish to last commit — how long the WAL backlog
+    #: outlived the writers.
+    drain_seconds: float
+    lag_mean_s: float
+    lag_p99_s: float
+    lag_max_s: float
+    #: Recurring-crash kills and schedule-driven respawns that happened.
+    crashes_fired: int
+    respawns: int
+    #: Query-side readers' read-your-writes observations.
+    reader_samples: int
+    reader_stale_peak: int
+    reader_final_stale: int
+
+
+@dataclass
+class ChaosRunOutcome:
+    """A chaos run's point plus the settled store's query fingerprint
+    (used by the recovery-invariant comparison)."""
+
+    point: ChaosSLOPoint
+    #: repr() of the settled Q1 rows and Q2/Q3/Q4 answers.
+    answers: Tuple[str, str, str, str]
+    #: (operations, bytes) billed by running Q1-Q4 against the settled
+    #: store — identical stores bill identically.
+    query_billing: Tuple[int, int]
+
+
+@dataclass
+class ChaosSLOResult:
+    """The chaos sweep: daemon count x fleet size x fault schedule."""
+
+    points: List[ChaosSLOPoint]
+    slo_p99_s: float
+    #: (clients, schedule) -> min daemons holding p99 lag <= slo_p99_s
+    #: among the swept counts (None: no swept count was enough).
+    daemons_for_slo: Dict[Tuple[int, str], Optional[int]]
+    #: Crashed-and-respawned runs end byte-identical to the uncrashed
+    #: run at the same (clients, daemons): Q1-Q4 answers and their
+    #: billing — the chaos recovery invariant.
+    recovery_identical: bool
+
+    def render(self) -> str:
+        table = render_table(
+            (
+                "Clients", "Daemons", "Schedule", "Committed", "Drain (s)",
+                "Lag mean", "Lag p99", "Lag max", "Crashes", "Respawns",
+                "Stale peak",
+            ),
+            [
+                (
+                    p.clients,
+                    p.daemons,
+                    p.schedule,
+                    f"{p.committed}/{p.flushes}",
+                    f"{p.drain_seconds:.1f}",
+                    f"{p.lag_mean_s:.1f}s",
+                    f"{p.lag_p99_s:.1f}s",
+                    f"{p.lag_max_s:.1f}s",
+                    p.crashes_fired,
+                    p.respawns,
+                    p.reader_stale_peak,
+                )
+                for p in self.points
+            ],
+            title="Chaos sweep: daemons x fleet x fault schedule",
+        )
+        slo_rows = [
+            (clients, schedule, "-" if daemons is None else daemons)
+            for (clients, schedule), daemons in sorted(
+                self.daemons_for_slo.items()
+            )
+        ]
+        slo_table = render_table(
+            ("Clients", "Schedule", f"Daemons for p99 <= {self.slo_p99_s:.0f}s"),
+            slo_rows,
+            title="SLO sizing: daemons needed to hold the p99 commit lag",
+        )
+        invariant = (
+            "chaos recovery invariant (crashed+respawned == uncrashed): "
+            f"{self.recovery_identical}"
+        )
+        return "\n\n".join([table, slo_table, invariant])
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "slo_p99_s": self.slo_p99_s,
+            "recovery_identical": self.recovery_identical,
+            "points": [
+                {
+                    "clients": p.clients,
+                    "daemons": p.daemons,
+                    "schedule": p.schedule,
+                    "flushes": p.flushes,
+                    "committed": p.committed,
+                    "elapsed_seconds": p.elapsed_seconds,
+                    "drain_seconds": p.drain_seconds,
+                    "lag_mean_s": p.lag_mean_s,
+                    "lag_p99_s": p.lag_p99_s,
+                    "lag_max_s": p.lag_max_s,
+                    "crashes_fired": p.crashes_fired,
+                    "respawns": p.respawns,
+                    "reader_samples": p.reader_samples,
+                    "reader_stale_peak": p.reader_stale_peak,
+                    "reader_final_stale": p.reader_final_stale,
+                }
+                for p in self.points
+            ],
+            "daemons_for_slo": [
+                {
+                    "clients": clients,
+                    "schedule": schedule,
+                    "daemons": daemons,
+                }
+                for (clients, schedule), daemons in sorted(
+                    self.daemons_for_slo.items()
+                )
+            ],
+        }
+
+
+#: The named fault schedules the chaos sweep understands.
+CHAOS_SCHEDULES = ("steady", "crashes", "degraded")
+
+
+def chaos_fleet_run(
+    clients: int = 4,
+    files_per_client: int = 3,
+    daemons: int = 1,
+    schedule: str = "steady",
+    seed: int = 0,
+    think_s: float = 2.0,
+    poll_interval: float = 1.0,
+    extra_attributes: int = 8,
+    file_bytes: int = 16 * 1024,
+    readers: int = 1,
+    reader_interval_s: float = 6.0,
+    crash_every_s: float = 20.0,
+    crash_start_at: float = 10.0,
+    respawn_delay_s: float = 2.0,
+    degrade_t1: float = 8.0,
+    degrade_t2: float = 40.0,
+    degrade_add_latency_s: float = 0.25,
+    degrade_duplicate_rate: float = 0.25,
+    drain_horizon_s: float = 1800.0,
+) -> ChaosRunOutcome:
+    """One chaos run: a P3 fleet on the kernel under a named fault
+    schedule, with concurrent Q1/Q3 readers, drained to quiescence and
+    fingerprinted.
+
+    Schedules:
+
+    - ``steady`` — no faults (the baseline the invariant compares to).
+    - ``crashes`` — the commit daemon ``daemon-0`` is killed every
+      ``crash_every_s`` seconds and respawned ``respawn_delay_s`` later
+      as a *fresh* :class:`~repro.core.commit_daemon.CommitDaemon`
+      resuming from the SQS queue mid-run; SQS redelivers whatever the
+      dead incarnation had received but not deleted.
+    - ``degraded`` — a network-degradation window over
+      [``degrade_t1``, ``degrade_t2``): every request pays
+      ``degrade_add_latency_s`` extra and SQS delivers duplicates at
+      ``degrade_duplicate_rate`` until the window closes and the
+      baseline is restored.
+
+    Deterministic per (arguments, seed); the recovery invariant is that
+    the ``crashes`` run's settled store answers Q1-Q4 byte-identically
+    to the ``steady`` run's.
+    """
+    import random as _random
+
+    from repro.core.commit_daemon import CommitDaemon
+    from repro.sim import SimKernel
+    from repro.workloads.fleet import (
+        FLEET_PROGRAM,
+        FleetWatch,
+        ReaderSample,
+        make_fleet,
+        protocol_client_process,
+        reader_process,
+    )
+
+    if schedule not in CHAOS_SCHEDULES:
+        raise ValueError(
+            f"unknown chaos schedule {schedule!r} (one of {CHAOS_SCHEDULES})"
+        )
+
+    account = CloudAccount(seed=seed)
+    protocol = ProtocolP3(account, client_id="fleet-shared")
+    fleet = make_fleet(
+        clients=clients,
+        files_per_client=files_per_client,
+        file_bytes=file_bytes,
+        extra_attributes=extra_attributes,
+        seed=seed,
+    )
+    kernel = SimKernel(account)
+    watch = FleetWatch()
+
+    daemon_objs: List = []
+
+    def fresh_daemon_process():
+        daemon = CommitDaemon(
+            account=account,
+            queue_url=protocol.queue_url,
+            bucket=protocol.bucket,
+            domain=protocol.domain,
+            router=protocol.router,
+        )
+        daemon_objs.append(daemon)
+        return daemon.process(poll_interval=poll_interval)
+
+    for index in range(daemons):
+        kernel.spawn(
+            fresh_daemon_process(), name=f"daemon-{index}", daemon=True
+        )
+
+    recurring = None
+    if schedule == "crashes":
+        recurring = account.faults.schedule.crash_every(
+            "daemon-0", every_s=crash_every_s, start_at=crash_start_at
+        )
+        account.faults.schedule.respawn(
+            "daemon-0", fresh_daemon_process, delay_s=respawn_delay_s
+        )
+    elif schedule == "degraded":
+        account.faults.schedule.degrade(
+            degrade_t1,
+            degrade_t2,
+            add_latency_s=degrade_add_latency_s,
+            duplicate_delivery_rate=degrade_duplicate_rate,
+        )
+
+    master = _random.Random(seed)
+    for client in fleet:
+        rng = _random.Random(master.randrange(1 << 30))
+        kernel.spawn(
+            protocol_client_process(protocol, client, think_s, rng, watch),
+            name=client.client_id,
+        )
+
+    samples: List[ReaderSample] = []
+    reader_rng = _random.Random(master.randrange(1 << 30))
+    for index in range(readers):
+        kernel.spawn(
+            reader_process(
+                account,
+                protocol.router.domains,
+                FLEET_PROGRAM,
+                watch,
+                samples,
+                interval_s=reader_interval_s,
+                queries=("q1", "q3"),
+                rng=_random.Random(reader_rng.randrange(1 << 30)),
+            ),
+            name=f"reader-{index}",
+            daemon=True,
+        )
+
+    kernel.run()  # clients to completion
+    clients_done_at = account.now
+    horizon = account.now + drain_horizon_s
+    while (
+        account.sqs.pending_count(protocol.queue_url) > 0
+        and account.now < horizon
+    ):
+        kernel.run(until=min(account.now + 5 * poll_interval, horizon))
+    # One more beat so daemons finish commit bookkeeping cut mid-step
+    # (the drain loop exits the moment the queue empties, which can be
+    # mid-activation — before commit_log is stamped).
+    kernel.run(until=account.now + 2 * poll_interval)
+    # Let eventual consistency settle, then give the readers one final
+    # beat over the settled store (their last samples should see
+    # everything the fleet flushed).
+    account.settle(120.0)
+    kernel.run(until=account.now + 2 * reader_interval_s)
+
+    lags = [
+        record.committed_at - record.logged_at
+        for daemon in daemon_objs
+        for record in daemon.commit_log
+    ]
+    committed = sum(d.committed_count() for d in daemon_objs)
+    last_commit = max(
+        (record.committed_at for d in daemon_objs for record in d.commit_log),
+        default=clients_done_at,
+    )
+    q1_samples = [s for s in samples if s.query == "q1"]
+    point = ChaosSLOPoint(
+        clients=clients,
+        daemons=daemons,
+        schedule=schedule,
+        flushes=sum(len(client.works) for client in fleet),
+        committed=committed,
+        elapsed_seconds=max(clients_done_at, last_commit),
+        drain_seconds=max(0.0, last_commit - clients_done_at),
+        lag_mean_s=sum(lags) / len(lags) if lags else 0.0,
+        lag_p99_s=_percentile(lags, 0.99),
+        lag_max_s=max(lags, default=0.0),
+        crashes_fired=len(recurring.fired_at) if recurring else 0,
+        respawns=sum(
+            policy.respawns
+            for policy in account.faults.schedule.respawns.values()
+        ),
+        reader_samples=len(samples),
+        reader_stale_peak=max((s.stale for s in q1_samples), default=0),
+        reader_final_stale=q1_samples[-1].stale if q1_samples else 0,
+    )
+
+    # Fingerprint the settled store: raw Q1 rows plus the engine's
+    # Q2/Q3/Q4, with the operations/bytes those queries billed.
+    engine = SimpleDBQueryEngine(
+        account, domain=protocol.domain, bucket=protocol.bucket
+    )
+    target_path = f"{MOUNT}fleet/c0000/f000.dat"
+    q1_rows = account.simpledb.select(f"select * from {protocol.domain}")
+    ops_before = account.billing.operation_count()
+    bytes_before = (
+        account.billing.bytes_received() + account.billing.bytes_transmitted()
+    )
+    q2, _ = engine.q2_object_provenance(target_path)
+    q3, _ = engine.q3_direct_outputs(FLEET_PROGRAM)
+    q4, _ = engine.q4_all_descendants(FLEET_PROGRAM)
+    query_billing = (
+        account.billing.operation_count() - ops_before,
+        account.billing.bytes_received()
+        + account.billing.bytes_transmitted()
+        - bytes_before,
+    )
+    return ChaosRunOutcome(
+        point=point,
+        answers=(repr(q1_rows), repr(q2), repr(q3), repr(q4)),
+        query_billing=query_billing,
+    )
+
+
+def chaos_slo_experiment(
+    fleet_sizes: Sequence[int] = (2, 4),
+    daemon_counts: Sequence[int] = (1, 2),
+    schedules: Sequence[str] = CHAOS_SCHEDULES,
+    slo_p99_s: float = 30.0,
+    seed: int = 0,
+    **run_kwargs,
+) -> ChaosSLOResult:
+    """The chaos sweep: daemon count x fleet size x fault schedule.
+
+    Two headline outputs beyond the raw points:
+
+    - **SLO sizing** — for each (fleet size, schedule), the minimum
+      swept daemon count holding the p99 commit lag at or under
+      ``slo_p99_s`` (the "how many daemons do I need" table; the drain
+      knee is where one daemon stops being enough).
+    - **The chaos recovery invariant** — for every (fleet size, daemon
+      count), the ``crashes`` run (scheduled daemon kills + fresh-daemon
+      respawns) must end with Q1-Q4 answers and query billing
+      byte-identical to the ``steady`` run: the WAL, not any daemon's
+      memory, is the authority.
+    """
+    points: List[ChaosSLOPoint] = []
+    outcomes: Dict[Tuple[int, int, str], ChaosRunOutcome] = {}
+    for clients in fleet_sizes:
+        for daemons in daemon_counts:
+            for schedule in schedules:
+                outcome = chaos_fleet_run(
+                    clients=clients,
+                    daemons=daemons,
+                    schedule=schedule,
+                    seed=seed,
+                    **run_kwargs,
+                )
+                outcomes[(clients, daemons, schedule)] = outcome
+                points.append(outcome.point)
+
+    daemons_for_slo: Dict[Tuple[int, str], Optional[int]] = {}
+    for clients in fleet_sizes:
+        for schedule in schedules:
+            enough = [
+                daemons
+                for daemons in sorted(daemon_counts)
+                if outcomes[(clients, daemons, schedule)].point.lag_p99_s
+                <= slo_p99_s
+            ]
+            daemons_for_slo[(clients, schedule)] = (
+                enough[0] if enough else None
+            )
+
+    recovery_identical = True
+    if "steady" in schedules and "crashes" in schedules:
+        for clients in fleet_sizes:
+            for daemons in daemon_counts:
+                steady = outcomes[(clients, daemons, "steady")]
+                crashed = outcomes[(clients, daemons, "crashes")]
+                if (
+                    steady.answers != crashed.answers
+                    or steady.query_billing != crashed.query_billing
+                ):
+                    recovery_identical = False
+
+    return ChaosSLOResult(
+        points=points,
+        slo_p99_s=slo_p99_s,
+        daemons_for_slo=daemons_for_slo,
+        recovery_identical=recovery_identical,
+    )
 
 
 @dataclass

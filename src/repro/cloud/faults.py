@@ -24,12 +24,22 @@ Crash point names used by the protocols:
 ``p3.after_log``          P3: WAL complete, commit daemon has not run
 ``p3.mid_commit``         P3: commit daemon crashed between commit steps
 ========================  =====================================================
+
+Beyond single crashes, :class:`FaultSchedule` (reachable as
+``FaultPlan.schedule``) describes *chaos over time* for kernel runs:
+recurring crashes (kill the target every N virtual seconds), respawn
+policies (bring a fresh process up after its predecessor dies — the
+"any other machine can run a daemon against the same queue" claim made
+executable), and network-degradation windows that scale the
+environment's ``extra_latency_s`` and arm SQS duplicate delivery
+between two virtual times.  The schedule is declarative; the simulation
+kernel is the interpreter (see :mod:`repro.sim.kernel`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.errors import ClientCrashError
 
@@ -61,12 +71,168 @@ class TimedCrash:
 
 
 @dataclass
+class RecurringCrash:
+    """Kill ``target`` every ``every_s`` virtual seconds.
+
+    The first kill lands at ``start_at`` (default: one period in), then
+    every period after that, up to ``times`` kills (``None`` means
+    unbounded — the schedule outlives any one process, which is what
+    makes it compose with a respawn policy: the respawned process is
+    killed again on the next beat).  ``fired_at`` records every kill;
+    ``next_at``/``scheduled`` are kernel bookkeeping.
+    """
+
+    target: str
+    every_s: float
+    start_at: float
+    times: Optional[int] = None
+    fired_at: List[float] = field(default_factory=list)
+    next_at: float = 0.0
+    scheduled: bool = False
+
+    def exhausted(self) -> bool:
+        return self.times is not None and len(self.fired_at) >= self.times
+
+
+@dataclass
+class RespawnPolicy:
+    """Bring ``target`` back ``delay_s`` after it crashes.
+
+    ``factory`` builds the replacement generator — typically a *fresh*
+    object's process (e.g. a new ``CommitDaemon.process()``) resuming
+    from durable service state, exactly the paper's recovery story: the
+    WAL queue, not the dead process's memory, is the authority.  The
+    kernel spawns the replacement under the same process name, so timed
+    and recurring crashes aimed at that name keep applying to it.
+    """
+
+    target: str
+    factory: Callable[[], Generator]
+    delay_s: float = 1.0
+    max_respawns: Optional[int] = None
+    #: Number of respawns performed so far (kernel bookkeeping).
+    respawns: int = 0
+    #: Virtual times at which replacements were scheduled.
+    respawned_at: List[float] = field(default_factory=list)
+
+    def exhausted(self) -> bool:
+        return self.max_respawns is not None and self.respawns >= self.max_respawns
+
+
+@dataclass
+class DegradationWindow:
+    """Degrade the network between virtual times ``t1`` and ``t2``.
+
+    While the window is open the environment's per-request
+    ``extra_latency_s`` becomes ``baseline * latency_scale +
+    add_latency_s`` (both knobs exist because the EC2 baseline is 0.0 —
+    a pure multiplier could never degrade it), and, when
+    ``duplicate_delivery_rate`` is set, SQS delivers duplicates at that
+    rate (the at-least-once behaviour a flaky network amplifies).  At
+    ``t2`` the kernel restores exactly what it saved at ``t1``.
+    Windows must not overlap: each restores the state it captured, so
+    overlapping windows would resurrect a mid-degradation baseline.
+    """
+
+    t1: float
+    t2: float
+    latency_scale: float = 1.0
+    add_latency_s: float = 0.0
+    duplicate_delivery_rate: Optional[float] = None
+    applied: bool = False
+    restored: bool = False
+    scheduled: bool = False
+    #: What the kernel saved at t1 (restored verbatim at t2).
+    saved_environment: object = None
+    saved_duplicate_rate: float = 0.0
+
+
+@dataclass
+class FaultSchedule:
+    """A declarative chaos timetable, interpreted by the kernel."""
+
+    recurring: List[RecurringCrash] = field(default_factory=list)
+    respawns: Dict[str, RespawnPolicy] = field(default_factory=dict)
+    windows: List[DegradationWindow] = field(default_factory=list)
+
+    def crash_every(
+        self,
+        target: str,
+        every_s: float,
+        start_at: Optional[float] = None,
+        times: Optional[int] = None,
+    ) -> RecurringCrash:
+        """Arm a recurring kill of ``target``; first at ``start_at``
+        (default one period in), then every ``every_s`` seconds."""
+        if every_s <= 0:
+            raise ValueError(f"every_s must be positive (got {every_s})")
+        first = every_s if start_at is None else start_at
+        if first < 0:
+            raise ValueError(f"cannot schedule a crash before t=0 (at={first})")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1 when given (got {times})")
+        crash = RecurringCrash(
+            target=target, every_s=every_s, start_at=first, times=times,
+            next_at=first,
+        )
+        self.recurring.append(crash)
+        return crash
+
+    def respawn(
+        self,
+        target: str,
+        factory: Callable[[], Generator],
+        delay_s: float = 1.0,
+        max_respawns: Optional[int] = None,
+    ) -> RespawnPolicy:
+        """Register a respawn policy for ``target`` (one per target;
+        re-registering replaces the previous policy)."""
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0 (got {delay_s})")
+        policy = RespawnPolicy(
+            target=target, factory=factory, delay_s=delay_s,
+            max_respawns=max_respawns,
+        )
+        self.respawns[target] = policy
+        return policy
+
+    def degrade(
+        self,
+        t1: float,
+        t2: float,
+        latency_scale: float = 1.0,
+        add_latency_s: float = 0.0,
+        duplicate_delivery_rate: Optional[float] = None,
+    ) -> DegradationWindow:
+        """Arm a degradation window over [t1, t2)."""
+        if t1 < 0 or t2 <= t1:
+            raise ValueError(
+                f"degradation window needs 0 <= t1 < t2 (got t1={t1}, t2={t2})"
+            )
+        if latency_scale < 0 or add_latency_s < 0:
+            raise ValueError("degradation knobs must be non-negative")
+        window = DegradationWindow(
+            t1=t1, t2=t2, latency_scale=latency_scale,
+            add_latency_s=add_latency_s,
+            duplicate_delivery_rate=duplicate_delivery_rate,
+        )
+        self.windows.append(window)
+        return window
+
+    def empty(self) -> bool:
+        return not (self.recurring or self.respawns or self.windows)
+
+
+@dataclass
 class FaultPlan:
     """Arms crash points and counts how often each point was passed."""
 
     _armed: Dict[str, _ArmedPoint] = field(default_factory=dict)
     hits: Dict[str, int] = field(default_factory=dict)
     _timed: List[TimedCrash] = field(default_factory=list)
+    #: The chaos timetable (recurring crashes, respawns, degradation
+    #: windows), interpreted by the simulation kernel.
+    schedule: FaultSchedule = field(default_factory=FaultSchedule)
 
     def arm_crash(self, point: str, skip: int = 0) -> None:
         """Arm ``point`` so that its ``skip+1``-th hit raises

@@ -113,6 +113,14 @@ class ParallelScheduler:
     def environment(self) -> EnvironmentProfile:
         return self._env
 
+    def set_environment(self, environment: EnvironmentProfile) -> None:
+        """Swap the environment mid-run.  Requests placed after the swap
+        pay the new profile's latency; in-flight resource occupancy
+        (NIC, indexers) carries over.  This is how degradation windows
+        (:class:`~repro.cloud.faults.DegradationWindow`) take effect and
+        how they restore the baseline afterwards."""
+        self._env = environment
+
     def reset_resources(self) -> None:
         """Forget accumulated NIC/indexer occupancy (used after untimed
         setup such as input staging, so the measured run starts clean)."""

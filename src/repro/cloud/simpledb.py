@@ -65,6 +65,12 @@ ITEM_ATTRIBUTE_LIMIT = 256
 #: Items returned per Select page.
 SELECT_PAGE_ITEMS = 1200
 
+#: Virtual seconds an untouched select snapshot survives before it is
+#: garbage-collected (the way SQS expires in-flight messages): abandoned
+#: chains — a crashed client mid-pagination, a query engine that stopped
+#: following tokens — would otherwise pin their match sets forever.
+SELECT_SNAPSHOT_TTL_SECONDS = 300.0
+
 #: One item: (item name, [(attribute, value), ...]).
 ItemPut = Tuple[str, Sequence[Tuple[str, str]]]
 
@@ -453,10 +459,23 @@ class SelectEngineStats:
     unconditional: int = 0
     #: Pages resumed from a legacy numeric offset token (re-matched).
     legacy_tokens: int = 0
+    #: Snapshots garbage-collected after the TTL elapsed untouched.
+    snapshots_expired: int = 0
+    #: Pages that resumed an *expired* snapshot token by re-matching the
+    #: domain at the page's own observation time (the clean fallback).
+    expired_token_rematches: int = 0
 
 
 def _pairs_size(pairs: Sequence[Tuple[str, str]]) -> int:
     return sum(len(a.encode()) + len(v.encode()) for a, v in pairs)
+
+
+@dataclass
+class _SelectSnapshot:
+    """One live chain's materialized match list plus its GC clock."""
+
+    matches: List[Tuple[str, ItemAttributes]]
+    last_used_at: float
 
 
 class SimpleDBService:
@@ -482,9 +501,10 @@ class SimpleDBService:
         #: either way, so the flag can be toggled mid-run.
         self.use_indexes = use_indexes
         self.select_stats = SelectEngineStats()
-        #: Snapshot id -> the chain's full materialized match list;
-        #: created at a chain's first page, dropped at its last.
-        self._select_snapshots: Dict[int, List[Tuple[str, ItemAttributes]]] = {}
+        #: Snapshot id -> the chain's materialized match list; created at
+        #: a chain's first page, dropped at its last — or expired by
+        #: :meth:`_expire_snapshots` once untouched past the TTL.
+        self._select_snapshots: Dict[int, _SelectSnapshot] = {}
         self._snapshot_seq = 0
 
     @property
@@ -638,6 +658,7 @@ class SimpleDBService:
         condition = prepared.condition
 
         def apply(start: float, finish: float) -> SelectPage:
+            self._expire_snapshots(start)
             snapshot_id: Optional[int] = None
             if next_token:
                 snapshot_id, offset, matches = self._resume_select(
@@ -656,7 +677,9 @@ class SimpleDBService:
                 if snapshot_id is None:
                     self._snapshot_seq += 1
                     snapshot_id = self._snapshot_seq
-                    self._select_snapshots[snapshot_id] = matches
+                    self._select_snapshots[snapshot_id] = _SelectSnapshot(
+                        matches=matches, last_used_at=start
+                    )
                 token = f"snap-{snapshot_id}:{offset + SELECT_PAGE_ITEMS}"
             size = sum(
                 len(n)
@@ -827,7 +850,14 @@ class SimpleDBService:
         """Resolve a continuation token to (snapshot id, offset, match
         list).  Legacy bare-offset tokens (pre-snapshot clients) re-match
         the domain at this page's observation time, as the old engine
-        did."""
+        did; so do tokens of snapshots that no longer exist — whether
+        the TTL collected an abandoned chain or a client replays a token
+        from a chain that already completed (the snapshot is popped at
+        the final page; distinguishing the two would mean remembering
+        every completed chain forever, the very leak the GC removes).
+        Either way the chain degrades to legacy per-page semantics
+        instead of failing.  Tokens naming a snapshot that was *never
+        issued* are rejected."""
         if token.startswith("snap-"):
             head, _, offset_text = token[len("snap-"):].partition(":")
             try:
@@ -837,12 +867,23 @@ class SimpleDBService:
                 raise InvalidRequestError(
                     f"malformed select token {token!r}"
                 ) from None
-            matches = self._select_snapshots.get(snapshot_id)
-            if matches is None:
-                raise InvalidRequestError(
-                    f"select token {token!r} has expired"
+            snapshot = self._select_snapshots.get(snapshot_id)
+            if snapshot is None:
+                if not 1 <= snapshot_id <= self._snapshot_seq:
+                    raise InvalidRequestError(
+                        f"select token {token!r} was never issued"
+                    )
+                # The snapshot was garbage-collected (abandoned past the
+                # TTL, then resumed after all).  Fall back cleanly:
+                # re-match at this page's observation time and continue
+                # from the recorded offset, exactly the legacy-token
+                # behaviour.
+                self.select_stats.expired_token_rematches += 1
+                return None, offset, self._match_rows(
+                    state, condition, start, count_stats=False
                 )
-            return snapshot_id, offset, matches
+            snapshot.last_used_at = start
+            return snapshot_id, offset, snapshot.matches
         try:
             offset = int(token)
         except ValueError:
@@ -853,6 +894,20 @@ class SimpleDBService:
         return None, offset, self._match_rows(
             state, condition, start, count_stats=False
         )
+
+    def _expire_snapshots(self, now: float) -> None:
+        """Drop snapshots untouched for the TTL — virtual-time GC of
+        abandoned chains, mirroring SQS's in-flight expiry.  Long fleet
+        runs with crashed or lazy readers stop leaking match sets."""
+        cutoff = now - SELECT_SNAPSHOT_TTL_SECONDS
+        stale = [
+            snapshot_id
+            for snapshot_id, snapshot in self._select_snapshots.items()
+            if snapshot.last_used_at < cutoff
+        ]
+        for snapshot_id in stale:
+            del self._select_snapshots[snapshot_id]
+        self.select_stats.snapshots_expired += len(stale)
 
     def _observe(
         self,

@@ -26,13 +26,14 @@ attribute requires scanning every provenance object in the bucket.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Generator, List
 
 from repro.cloud.blob import Blob
 from repro.cloud.network import Request
 from repro.errors import NoSuchKeyError
 from repro.provenance.records import ProvenanceBundle
 from repro.provenance.serialization import encode_records
+from repro.sim.events import Batch, Delay
 
 from repro.core.protocol_base import (
     FlushWork,
@@ -90,6 +91,45 @@ class ProtocolP1(StorageProtocol):
                 self.account.scheduler.execute_batch(
                     self._primary_data_request(work), self.connections
                 )
+        self._mark_provenance_stored(work.bundles)
+        if work.include_data:
+            self._mark_data_stored(work.primary)
+            for intent in work.ancestor_data:
+                self._mark_data_stored(intent)
+        self.account.faults.crash_point("p1.after_data_put")
+
+    def flush_plan(self, work: FlushWork) -> Generator:
+        """One flush as an effect plan, for clients running as kernel
+        processes.  Identical request construction and crash-point
+        placement to :meth:`flush`; the serial marshalling CPU becomes a
+        delay in the client's own time domain."""
+        prov_requests = self._provenance_requests(work)
+        data_requests = self._data_requests(work) if work.include_data else []
+        cost = self.prov_cpu_cost(len(prov_requests))
+        if cost > 0:
+            yield Delay(cost)
+
+        if self.mode is UploadMode.PARALLEL:
+            if prov_requests or data_requests:
+                yield Batch(prov_requests + data_requests, self.connections)
+            self.account.faults.crash_point("p1.after_prov_put")
+        else:
+            ancestor_data = [
+                self.account.s3.put_request(
+                    self.bucket,
+                    data_key(intent.path),
+                    intent.blob,
+                    self.data_metadata(intent),
+                )
+                for intent in work.ancestor_data
+            ]
+            if ancestor_data:
+                yield Batch(ancestor_data, self.connections)
+            for request in prov_requests:
+                yield Batch([request], connections=1)
+            self.account.faults.crash_point("p1.after_prov_put")
+            if work.include_data:
+                yield Batch(self._primary_data_request(work), self.connections)
         self._mark_provenance_stored(work.bundles)
         if work.include_data:
             self._mark_data_stored(work.primary)

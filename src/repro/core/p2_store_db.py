@@ -19,9 +19,10 @@ non-atomic requests.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Generator, List, Optional
 
 from repro.cloud.network import Request
+from repro.sim.events import Batch, Delay
 
 from repro.core.protocol_base import (
     PROVENANCE_DOMAIN,
@@ -80,6 +81,46 @@ class ProtocolP2(StorageProtocol):
                 self.account.scheduler.execute_one(request)
             self.account.faults.crash_point("p2.after_prov_put")
             self.account.scheduler.execute_batch(data_requests[:1], self.connections)
+
+        self._mark_provenance_stored(work.bundles)
+        if work.include_data:
+            self._mark_data_stored(work.primary)
+            for intent in work.ancestor_data:
+                self._mark_data_stored(intent)
+        self.account.faults.crash_point("p2.after_data_put")
+
+    def flush_plan(self, work: FlushWork) -> Generator:
+        """One flush as an effect plan, for clients running as kernel
+        processes.  Identical request construction and crash-point
+        placement to :meth:`flush`; the serial marshalling CPU (per
+        request and per attribute-value pair) becomes delays in the
+        client's own time domain."""
+        bundles = bundles_with_coupling(work)
+        spill_requests, batch_requests, item_pairs = build_routed_requests(
+            self.router, bundles, self.account, self.bucket
+        )
+        data_requests = self._data_requests(work) if work.include_data else []
+        cost = self.prov_cpu_cost(len(spill_requests) + len(batch_requests))
+        cost += self.prov_items_cost(item_pairs)
+        if cost > 0:
+            yield Delay(cost)
+
+        if self.mode is UploadMode.PARALLEL:
+            requests = spill_requests + batch_requests + data_requests
+            if requests:
+                yield Batch(requests, self.connections)
+            self.account.faults.crash_point("p2.after_prov_put")
+        else:
+            ancestor_requests = data_requests[1:]
+            if ancestor_requests:
+                yield Batch(ancestor_requests, self.connections)
+            if spill_requests:
+                yield Batch(spill_requests, self.connections)
+            for request in batch_requests:
+                yield Batch([request], connections=1)
+            self.account.faults.crash_point("p2.after_prov_put")
+            if data_requests[:1]:
+                yield Batch(data_requests[:1], self.connections)
 
         self._mark_provenance_stored(work.bundles)
         if work.include_data:

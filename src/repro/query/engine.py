@@ -34,8 +34,12 @@ from repro.core.protocol_base import data_key, provenance_object_key
 from repro.core.sdb_items import OVERFLOW_ATTRIBUTE, is_spill_pointer, spill_pointer_key
 from repro.query.ancestry import ProvenanceIndex
 
-#: Chunk size for ``IN (...)`` value lists in SimpleDB selects.
-_IN_CHUNK = 20
+#: Chunk size for ``IN (...)`` value lists in SimpleDB selects (shared
+#: with the fleet's query-side readers so their Q3/Q4-shaped traffic
+#: matches the engine's request profile).
+IN_CHUNK = 20
+
+_IN_CHUNK = IN_CHUNK  # internal alias
 
 
 @dataclass

@@ -33,6 +33,16 @@ Semantics:
   crashes (:meth:`~repro.cloud.faults.FaultPlan.arm_timed_crash`,
   "crash client 7 at t=42s") are materialised as kernel events that kill
   the target process at the armed virtual time, even mid-sleep.
+- Chaos schedules: the kernel is the interpreter for
+  :class:`~repro.cloud.faults.FaultSchedule` (``account.faults.schedule``).
+  Recurring crashes become self-rescheduling kill events; degradation
+  windows swap the scheduler's environment (and SQS's duplicate-delivery
+  rate) at ``t1`` and restore the saved baseline at ``t2``; a respawn
+  policy reacts to *any* death of its target — timed, recurring, or an
+  in-code crash point — by spawning the policy's factory-built
+  replacement under the same name after ``delay_s``.  Respawned
+  processes share their predecessor's name (crash schedules keep
+  applying); :meth:`SimKernel.processes_named` lists every incarnation.
 """
 
 from __future__ import annotations
@@ -40,11 +50,12 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.clock import TimeDomain
+from repro.cloud.faults import DegradationWindow, RecurringCrash
 from repro.errors import ClientCrashError, CloudServiceError
 
 from repro.sim.events import Batch, Delay
@@ -88,12 +99,14 @@ class Process:
 
 @dataclass(order=True)
 class _Event:
-    """One heap entry: activate ``process`` (or fire a timed crash)."""
+    """One heap entry: activate ``process``, fire a timed crash, or run
+    a schedule action (recurring crash, window edge, respawn)."""
 
     time: float
     seq: int
     process: Optional[Process] = field(compare=False, default=None)
     crash_target: Optional[str] = field(compare=False, default=None)
+    action: Optional[Callable[[float], None]] = field(compare=False, default=None)
 
 
 class SimKernel:
@@ -136,6 +149,7 @@ class SimKernel:
         self._processes.append(process)
         self._push(_Event(start, next(self._seq), process=process))
         self._schedule_timed_crashes(process.name)
+        self._schedule_chaos()
         return process
 
     def _schedule_timed_crashes(self, target: str) -> None:
@@ -145,6 +159,93 @@ class SimKernel:
                 self._push(
                     _Event(crash.at, next(self._seq), crash_target=crash.target)
                 )
+
+    # -- chaos schedules (FaultSchedule interpretation) ------------------------
+
+    def _schedule_chaos(self) -> None:
+        """Materialise pending FaultSchedule entries as heap events
+        (idempotent — each entry is marked once scheduled)."""
+        schedule = self.account.faults.schedule
+        for crash in schedule.recurring:
+            if not crash.scheduled and not crash.exhausted():
+                crash.scheduled = True
+                self._push_recurring(crash)
+        for window in schedule.windows:
+            if not window.scheduled:
+                window.scheduled = True
+                self._push(_Event(
+                    window.t1, next(self._seq),
+                    action=lambda now, w=window: self._open_window(w, now),
+                ))
+                self._push(_Event(
+                    window.t2, next(self._seq),
+                    action=lambda now, w=window: self._close_window(w, now),
+                ))
+
+    def _push_recurring(self, crash: RecurringCrash) -> None:
+        self._push(_Event(
+            crash.next_at, next(self._seq),
+            action=lambda now, c=crash: self._fire_recurring(c, now),
+        ))
+
+    def _fire_recurring(self, crash: RecurringCrash, now: float) -> None:
+        crash.fired_at.append(now)
+        # Snapshot: killing can respawn a same-named replacement, which
+        # must survive this firing (it models a new machine coming up).
+        for process in list(self._processes):
+            if process.name == crash.target and process.alive:
+                self._kill(
+                    process, ClientCrashError(f"recurring@{now:.3f}s"), now
+                )
+        if not crash.exhausted():
+            crash.next_at += crash.every_s
+            # If the clock jumped past queued beats (an experiment's
+            # settle), fast-forward to the cadence instead of replaying
+            # every missed beat as a same-instant kill burst.
+            while crash.next_at <= now:
+                crash.next_at += crash.every_s
+            self._push_recurring(crash)
+
+    def _open_window(self, window: DegradationWindow, now: float) -> None:
+        env = self.scheduler.environment
+        window.saved_environment = env
+        window.saved_duplicate_rate = self.account.sqs.duplicate_delivery_rate
+        self.scheduler.set_environment(dc_replace(
+            env,
+            extra_latency_s=(
+                env.extra_latency_s * window.latency_scale
+                + window.add_latency_s
+            ),
+        ))
+        if window.duplicate_delivery_rate is not None:
+            self.account.sqs.duplicate_delivery_rate = (
+                window.duplicate_delivery_rate
+            )
+        window.applied = True
+
+    def _close_window(self, window: DegradationWindow, now: float) -> None:
+        if not window.applied or window.restored:
+            return
+        self.scheduler.set_environment(window.saved_environment)
+        self.account.sqs.duplicate_delivery_rate = window.saved_duplicate_rate
+        window.restored = True
+
+    def _maybe_respawn(self, process: Process, now: float) -> None:
+        """Consult the schedule's respawn policy for a freshly dead
+        process; spawn the factory-built replacement under the same
+        name (and daemon flag) after the policy's delay."""
+        policy = self.account.faults.schedule.respawns.get(process.name)
+        if policy is None or policy.exhausted():
+            return
+        policy.respawns += 1
+        respawn_at = now + policy.delay_s
+        policy.respawned_at.append(respawn_at)
+        self.spawn(
+            policy.factory(),
+            name=process.name,
+            at=respawn_at,
+            daemon=process.daemon,
+        )
 
     def every(
         self,
@@ -172,10 +273,17 @@ class SimKernel:
         return list(self._processes)
 
     def process(self, name: str) -> Process:
+        """First process registered under ``name`` (respawns append later
+        incarnations; use :meth:`processes_named` to see them all)."""
         for candidate in self._processes:
             if candidate.name == name:
                 return candidate
         raise KeyError(f"no process named {name!r}")
+
+    def processes_named(self, name: str) -> List[Process]:
+        """Every incarnation registered under ``name``, in spawn order —
+        the original plus any schedule-driven respawns."""
+        return [p for p in self._processes if p.name == name]
 
     # -- the event loop -------------------------------------------------------
 
@@ -189,10 +297,12 @@ class SimKernel:
         clock to ``until``; this is how an experiment lets daemons drain
         after the clients are done.
         """
-        # Materialise crashes armed after their target was spawned (a
-        # crash armed for a past time fires on the next event pop).
+        # Materialise crashes and schedule entries armed after their
+        # target was spawned (a crash armed for a past time fires on the
+        # next event pop).
         for process in self._processes:
             self._schedule_timed_crashes(process.name)
+        self._schedule_chaos()
         while self._heap:
             if until is None and not self._live_nondaemon():
                 break
@@ -201,8 +311,14 @@ class SimKernel:
                 break
             heapq.heappop(self._heap)
             self.clock.advance_to(event.time)
+            # Handlers get the *clock's* time: when the clock jumped past
+            # a queued event (an experiment's settle), the event fires
+            # late, at the current time, not retroactively.
+            if event.action is not None:
+                event.action(self.clock.now)
+                continue
             if event.crash_target is not None:
-                self._fire_timed_crash(event.crash_target, event.time)
+                self._fire_timed_crash(event.crash_target, self.clock.now)
                 continue
             process = event.process
             assert process is not None
@@ -221,7 +337,9 @@ class SimKernel:
 
     def _fire_timed_crash(self, target: str, now: float) -> None:
         self.account.faults.fire_timed_crash(target, now)
-        for process in self._processes:
+        # Snapshot: _kill can respawn a same-named replacement that must
+        # not be swept up by this same firing.
+        for process in list(self._processes):
             if process.name == target and process.alive:
                 self._kill(process, ClientCrashError(f"timed@{now:.3f}s"), now)
 
@@ -230,6 +348,7 @@ class SimKernel:
         process.crash = crash
         process.domain.finish(now)
         process.generator.close()
+        self._maybe_respawn(process, now)
 
     # -- stepping one process --------------------------------------------------
 
@@ -252,6 +371,7 @@ class SimKernel:
             process.state = ProcessState.CRASHED
             process.crash = crash
             process.domain.finish(now)
+            self._maybe_respawn(process, now)
             return
         self._interpret(process, effect, now)
 

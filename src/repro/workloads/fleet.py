@@ -20,14 +20,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Sequence, Set
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.blob import Blob
+from repro.cloud.simpledb import prepare_select
 from repro.provenance.graph import NodeRef
 from repro.provenance.pass_collector import FlushIntent
 from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
-from repro.sim import Delay, SimKernel
+from repro.query.engine import IN_CHUNK
+from repro.sim import Batch, Delay, SimKernel
 
 from repro.core.protocol_base import FlushWork
 from repro.workloads.base import MOUNT
@@ -239,6 +241,231 @@ def run_fleet_kernel(
         bytes_transmitted=account.billing.bytes_transmitted() - bytes_before,
         cost_usd=account.billing.cost() - cost_before,
     )
+
+
+@dataclass
+class FleetWatch:
+    """What the fleet has durably logged so far, by uuid.
+
+    Clients running through :func:`protocol_client_process` record each
+    work's primary uuid here the moment its flush plan completes (for P3
+    that means *logged* — WAL complete — not yet committed).  Readers
+    compare this against what their queries actually return, which is
+    what makes read-your-writes staleness measurable: a uuid in
+    ``flushed`` but absent from a query answer is a write the store has
+    accepted but not yet made visible to that reader.
+    """
+
+    flushed: Set[str] = field(default_factory=set)
+    flushed_at: Dict[str, float] = field(default_factory=dict)
+
+    def note(self, uuid: str, now: float) -> None:
+        if uuid not in self.flushed:
+            self.flushed.add(uuid)
+            self.flushed_at[uuid] = now
+
+
+def protocol_client_process(
+    protocol,
+    client: FleetClient,
+    think_s: float,
+    rng: random.Random,
+    watch: Optional[FleetWatch] = None,
+) -> Generator:
+    """One fleet client flushing directly through a storage protocol's
+    ``flush_plan`` (P1, P2, or P3 — any protocol with a plan), thinking
+    a seeded-jittered interval between files.  Mixed-protocol fleets are
+    just different clients constructed over different protocols, all
+    interleaved by the kernel."""
+    for work in client.works:
+        yield from protocol.flush_plan(work)
+        if watch is not None:
+            # The plan has fully resumed here, so account.now is this
+            # client's own completion time for the flush.
+            watch.note(work.primary.uuid, protocol.account.now)
+        yield Delay(think_s * rng.uniform(0.5, 1.5))
+
+
+# --------------------------------------------------------------------------
+# Query-side readers: Q1-Q4 as kernel processes against a live store
+# --------------------------------------------------------------------------
+
+@dataclass
+class ReaderSample:
+    """One reader query against the store at virtual time ``t``.
+
+    ``flushed`` counts uuids the fleet had durably logged when the query
+    *started*; ``visible`` counts how many of those the answer actually
+    surfaced.  ``stale`` is the read-your-writes gap — positive whenever
+    eventual consistency, WAL backlog, or a crashed daemon keeps an
+    acknowledged write out of view.  Only Q1 sees the whole store, so
+    ``visible``/``stale`` are Q1-only; other shapes record answer size.
+    """
+
+    t: float
+    query: str
+    rows: int
+    flushed: int = 0
+    visible: int = 0
+
+    @property
+    def stale(self) -> int:
+        return max(0, self.flushed - self.visible)
+
+
+def _select_plan(account: CloudAccount, expression: str) -> Generator:
+    """One select chain as an effect plan: each page is a Batch, tokens
+    follow sequentially.  Returns the accumulated rows."""
+    prepared = prepare_select(expression)
+    rows: List = []
+    token = ""
+    while True:
+        batch = yield Batch(
+            [account.simpledb.select_request(prepared, token)], connections=1
+        )
+        page = batch.results[0]
+        rows.extend(page.rows)
+        if page.complete:
+            return rows
+        token = page.next_token
+
+
+def _reader_q1(account: CloudAccount, domains: Sequence[str]) -> Generator:
+    rows: List = []
+    for domain in domains:
+        rows.extend((yield from _select_plan(
+            account, f"select * from {domain}"
+        )))
+    return rows
+
+
+def _reader_q2(
+    account: CloudAccount, domains: Sequence[str], uuid: str
+) -> Generator:
+    rows: List = []
+    for domain in domains:
+        rows.extend((yield from _select_plan(
+            account,
+            f"select * from {domain} where itemName() like '{uuid}_%'",
+        )))
+    return rows
+
+
+def _reader_q3(
+    account: CloudAccount, domains: Sequence[str], program: str
+) -> Generator:
+    procs = []
+    for domain in domains:
+        rows = yield from _select_plan(
+            account,
+            f"select * from {domain} "
+            f"where name = '{program}' and type = 'proc'",
+        )
+        procs.extend(name for name, _ in rows)
+    outputs: List = []
+    for chunk_start in range(0, len(procs), IN_CHUNK):
+        chunk = procs[chunk_start : chunk_start + IN_CHUNK]
+        quoted = ", ".join(f"'{name}'" for name in chunk)
+        for domain in domains:
+            rows = yield from _select_plan(
+                account,
+                f"select * from {domain} where input in ({quoted})",
+            )
+            outputs.extend(
+                name for name, attrs in rows if "file" in attrs.get("type", [])
+            )
+    return sorted(set(outputs))
+
+
+def _reader_q4(
+    account: CloudAccount, domains: Sequence[str], program: str
+) -> Generator:
+    frontier = []
+    for domain in domains:
+        rows = yield from _select_plan(
+            account,
+            f"select * from {domain} "
+            f"where name = '{program}' and type = 'proc'",
+        )
+        frontier.extend(name for name, _ in rows)
+    seen: Set[str] = set()
+    while frontier:
+        next_frontier: List[str] = []
+        for chunk_start in range(0, len(frontier), IN_CHUNK):
+            chunk = frontier[chunk_start : chunk_start + IN_CHUNK]
+            quoted = ", ".join(f"'{name}'" for name in chunk)
+            for domain in domains:
+                rows = yield from _select_plan(
+                    account,
+                    f"select * from {domain} where input in ({quoted})",
+                )
+                for name, _attrs in rows:
+                    if name not in seen:
+                        seen.add(name)
+                        next_frontier.append(name)
+        frontier = next_frontier
+    return sorted(seen)
+
+
+def reader_process(
+    account: CloudAccount,
+    domains: Sequence[str],
+    program: str,
+    watch: FleetWatch,
+    samples: List[ReaderSample],
+    interval_s: float = 5.0,
+    queries: Sequence[str] = ("q1", "q3"),
+    target_uuid: str = "",
+    rng: Optional[random.Random] = None,
+) -> Generator:
+    """A query-side kernel process: round-robin Q1-Q4 shapes against the
+    provenance domains while clients are still writing them.
+
+    Each query appends a :class:`ReaderSample`; Q1 samples additionally
+    score read-your-writes staleness against ``watch``.  Spawn with
+    ``daemon=True`` — readers poll forever; the experiment's run horizon
+    stops them.  Deterministic when ``rng`` is seeded (jitters the
+    inter-query think time the way clients jitter theirs).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    while True:
+        for kind in queries:
+            started = account.now
+            # Snapshot at query start: a write flushed *during* the
+            # multi-page query must not mask staleness of the writes
+            # the store had already acknowledged when the query began.
+            flushed_set = set(watch.flushed)
+            if kind == "q1":
+                rows = yield from _reader_q1(account, domains)
+                visible_uuids = {
+                    NodeRef.parse(name).uuid
+                    for name, _ in rows
+                }
+                visible = len(flushed_set & visible_uuids)
+                samples.append(ReaderSample(
+                    t=round(started, 6), query=kind, rows=len(rows),
+                    flushed=len(flushed_set), visible=visible,
+                ))
+            elif kind == "q2":
+                uuid = target_uuid or (sorted(watch.flushed)[0]
+                                       if watch.flushed else "")
+                rows = (yield from _reader_q2(account, domains, uuid)) if uuid else []
+                samples.append(ReaderSample(
+                    t=round(started, 6), query=kind, rows=len(rows),
+                ))
+            elif kind == "q3":
+                outputs = yield from _reader_q3(account, domains, program)
+                samples.append(ReaderSample(
+                    t=round(started, 6), query=kind, rows=len(outputs),
+                ))
+            elif kind == "q4":
+                closure = yield from _reader_q4(account, domains, program)
+                samples.append(ReaderSample(
+                    t=round(started, 6), query=kind, rows=len(closure),
+                ))
+            else:
+                raise ValueError(f"unknown reader query {kind!r}")
+            yield Delay(interval_s * rng.uniform(0.5, 1.5))
 
 
 def run_fleet_compat_kernel(

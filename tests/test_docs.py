@@ -1,0 +1,69 @@
+"""The docs tree is part of the contract: intra-repo links must
+resolve, and the snippets marked as doctests must run.
+
+CI's docs job runs the same two checks standalone (`python -m doctest`
+over the doc files plus a link sweep); this test keeps them inside
+tier-1 so a broken doc fails locally before it fails in CI.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Every markdown file whose links and doctests we enforce.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _doc_ids():
+    return [str(path.relative_to(REPO_ROOT)) for path in DOC_FILES]
+
+
+def test_docs_tree_exists():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "architecture.md", "faults.md", "benchmarks.md"} \
+        <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_intra_repo_links_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    broken = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: dead intra-repo links {broken}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_doc_snippets_marked_as_doctests_run(doc):
+    text = doc.read_text(encoding="utf-8")
+    if ">>>" not in text:
+        pytest.skip(f"{doc.name} has no doctest snippets")
+    # The same semantics as `python -m doctest <file>`: parse the whole
+    # text for >>> examples and run them.
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(
+        text, {"__name__": "__main__"}, doc.name, str(doc), 0
+    )
+    runner = doctest.DocTestRunner(verbose=False)
+    runner.run(test)
+    results = runner.summarize(verbose=False)
+    assert results.failed == 0, (
+        f"{doc.name}: {results.failed} doctest(s) failed "
+        f"(run `PYTHONPATH=src python -m doctest {doc.name}` for detail)"
+    )
+    assert results.attempted > 0

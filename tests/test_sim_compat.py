@@ -150,6 +150,71 @@ class TestP3FlushEquivalence:
         )
 
 
+class TestP1P2FlushEquivalence:
+    """P1/P2 flushes ported to effect plans (the mixed-protocol fleet
+    prerequisite) issue identical traffic to the phased flush in both
+    upload modes: elapsed time, operations, bytes, committed state."""
+
+    @pytest.mark.parametrize("protocol_name", ["p1", "p2"])
+    @pytest.mark.parametrize(
+        "mode", [UploadMode.PARALLEL, UploadMode.CAUSAL]
+    )
+    def test_flush_plan_matches_phased_flush(self, protocol_name, mode):
+        from repro.core import ProtocolP1, ProtocolP2
+
+        protocol_cls = {"p1": ProtocolP1, "p2": ProtocolP2}[protocol_name]
+        capture = TestP3FlushEquivalence._capture_works
+
+        def snapshot(account, protocol):
+            objects = {
+                key: (
+                    record.blob.digest,
+                    tuple(sorted(record.metadata.items())),
+                )
+                for key in account.s3.peek_keys(protocol.bucket)
+                for record in [account.s3.peek_latest(protocol.bucket, key)]
+            }
+            items = {}
+            if hasattr(protocol, "domain"):
+                items = {
+                    name: account.simpledb.peek_item(protocol.domain, name)
+                    for name in account.simpledb.peek_item_names(
+                        protocol.domain
+                    )
+                }
+            return repr((items, objects))
+
+        phased_account = CloudAccount(seed=5)
+        phased = protocol_cls(phased_account, mode=mode)
+        for work in capture(phased_account):
+            phased.flush(work)
+        phased_elapsed = phased_account.now
+
+        kernel_account = CloudAccount(seed=5)
+        kernel_protocol = protocol_cls(kernel_account, mode=mode)
+        kernel = SimKernel(kernel_account)
+
+        def client():
+            for work in capture(kernel_account):
+                yield from kernel_protocol.flush_plan(work)
+
+        kernel.spawn(client(), name="client")
+        kernel.run()
+
+        assert kernel_account.now == phased_elapsed
+        assert (
+            kernel_account.billing.operation_count()
+            == phased_account.billing.operation_count()
+        )
+        assert (
+            kernel_account.billing.bytes_transmitted()
+            == phased_account.billing.bytes_transmitted()
+        )
+        assert snapshot(kernel_account, kernel_protocol) == snapshot(
+            phased_account, phased
+        )
+
+
 class TestPhasedPlanDriver:
     """run_plan_phased maps effects onto the pre-kernel semantics."""
 

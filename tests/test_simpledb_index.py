@@ -247,6 +247,79 @@ class TestSnapshotPagination:
                 sdb.select_request("select * from d", "bogus")
             )
 
+
+class TestSnapshotGC:
+    """Abandoned select snapshots expire on virtual time, like SQS
+    in-flight messages — long fleet runs stop leaking match sets."""
+
+    def _tiny_pages(self, monkeypatch):
+        monkeypatch.setattr(sdb_module, "SELECT_PAGE_ITEMS", 3)
+
+    def _start_chain(self, strict_account):
+        sdb = strict_account.simpledb
+        sdb.create_domain("d")
+        sdb.batch_put("d", [(f"i{n}", [("a", "v")]) for n in range(8)])
+        page: SelectPage = strict_account.scheduler.execute_one(
+            sdb.select_request("select * from d")
+        )
+        assert page.next_token.startswith("snap-")
+        return sdb, page
+
+    def test_abandoned_snapshot_expires_after_ttl(
+        self, strict_account, monkeypatch
+    ):
+        self._tiny_pages(monkeypatch)
+        sdb, _page = self._start_chain(strict_account)
+        assert len(sdb._select_snapshots) == 1
+        # The chain is abandoned; any select past the TTL collects it.
+        strict_account.clock.advance(
+            sdb_module.SELECT_SNAPSHOT_TTL_SECONDS + 1.0
+        )
+        sdb.select("select * from d where itemName() = 'i0'")
+        assert sdb._select_snapshots == {}
+        assert sdb.select_stats.snapshots_expired == 1
+
+    def test_snapshot_in_active_use_survives_the_ttl(
+        self, strict_account, monkeypatch
+    ):
+        self._tiny_pages(monkeypatch)
+        sdb, page = self._start_chain(strict_account)
+        # Pages keep touching the snapshot: its GC clock resets, so a
+        # slow-but-live chain is never collected under it.
+        for _ in range(2):
+            strict_account.clock.advance(
+                sdb_module.SELECT_SNAPSHOT_TTL_SECONDS / 2
+            )
+            page = strict_account.scheduler.execute_one(
+                sdb.select_request("select * from d", page.next_token)
+            )
+        assert sdb.select_stats.snapshots_expired == 0
+        assert page.complete
+
+    def test_expired_token_falls_back_to_rematch(
+        self, strict_account, monkeypatch
+    ):
+        self._tiny_pages(monkeypatch)
+        sdb, page = self._start_chain(strict_account)
+        first_rows = [n for n, _ in page.rows]
+        strict_account.clock.advance(
+            sdb_module.SELECT_SNAPSHOT_TTL_SECONDS + 1.0
+        )
+        # The snapshot is gone, but the token was genuinely issued: the
+        # page re-matches at its own observation time and the chain
+        # completes with no rows lost — a clean degradation to the
+        # legacy per-page semantics, not an error.
+        rows = list(first_rows)
+        token = page.next_token
+        while token:
+            page = strict_account.scheduler.execute_one(
+                sdb.select_request("select * from d", token)
+            )
+            rows.extend(n for n, _ in page.rows)
+            token = page.next_token
+        assert rows == [f"i{n}" for n in range(8)]
+        assert sdb.select_stats.expired_token_rematches >= 1
+
     def test_prepared_select_reused_across_chain(self, strict_account, monkeypatch):
         self._tiny_pages(monkeypatch)
         sdb = strict_account.simpledb
