@@ -1162,6 +1162,7 @@ class SelectScalingPoint:
 class SelectScalingResult:
     points: List[SelectScalingPoint]
     repeats: int
+    title: str = "Select scaling: indexed engine vs full-scan fallback"
 
     def render(self) -> str:
         rows = []
@@ -1186,7 +1187,7 @@ class SelectScalingResult:
                 "Speedup", "Reqs", "Indexed", "Identical",
             ),
             rows,
-            title="Select scaling: indexed engine vs full-scan fallback",
+            title=self.title,
         )
 
     def as_json(self) -> Dict[str, object]:
@@ -1256,22 +1257,18 @@ def _select_scaling_queries(domain: str) -> List[Tuple[str, str]]:
     ]
 
 
-def select_scaling(
-    domain_sizes: Sequence[int] = (1_000, 10_000, 100_000),
-    repeats: int = 3,
-    seed: int = 0,
+def _sweep_select_modes(
+    domain_sizes: Sequence[int],
+    repeats: int,
+    seed: int,
+    item_builder: Callable[[int], List[Tuple[str, List[Tuple[str, str]]]]],
+    query_builder: Callable[[str], List[Tuple[str, str]]],
+    title: str = "Select scaling: indexed engine vs full-scan fallback",
 ) -> SelectScalingResult:
-    """The indexed select engine's perf experiment: the same queries
-    against growing domains, timed in *real* wall-clock, with the planner
-    on (``use_indexes=True``) and off (scan fallback).
-
-    Expected shape: equality/prefix/IN selects cost O(matches) indexed
-    and O(domain) scanned, so the speedup grows linearly with domain
-    size (≥5x is the acceptance floor at 100k items); the ``!=`` control
-    falls back to scan in both modes and stays at parity.  Rows, row
-    order, simulated request counts, and billed bytes must be identical
-    between the two modes at every size.
-    """
+    """Shared sweep harness for the indexed-vs-scan perf experiments:
+    build a domain of each size, run each query in both modes, time the
+    chains in real wall-clock, and check byte-identity of rows and
+    billing."""
     import time
 
     points: List[SelectScalingPoint] = []
@@ -1279,7 +1276,7 @@ def select_scaling(
         account = CloudAccount(seed=seed)
         sdb = account.simpledb
         sdb.create_domain("bench")
-        items = _select_scaling_items(count)
+        items = item_builder(count)
         requests = [
             sdb.batch_put_request("bench", items[i : i + 25])
             for i in range(0, len(items), 25)
@@ -1288,7 +1285,7 @@ def select_scaling(
         account.settle(120.0)
 
         cells: List[SelectScalingCell] = []
-        for query_name, expression in _select_scaling_queries("bench"):
+        for query_name, expression in query_builder("bench"):
             per_mode: Dict[bool, Tuple[list, float, int, int]] = {}
             indexed_chains_before = sdb.select_stats.indexed
             for use_indexes in (True, False):
@@ -1347,7 +1344,113 @@ def select_scaling(
                 )
             )
         points.append(SelectScalingPoint(items=count, cells=cells))
-    return SelectScalingResult(points=points, repeats=repeats)
+    return SelectScalingResult(points=points, repeats=repeats, title=title)
+
+
+def select_scaling(
+    domain_sizes: Sequence[int] = (1_000, 10_000, 100_000),
+    repeats: int = 3,
+    seed: int = 0,
+) -> SelectScalingResult:
+    """The indexed select engine's perf experiment: the same queries
+    against growing domains, timed in *real* wall-clock, with the planner
+    on (``use_indexes=True``) and off (scan fallback).
+
+    Expected shape: equality/prefix/IN selects cost O(matches) indexed
+    and O(domain) scanned, so the speedup grows linearly with domain
+    size (≥5x is the acceptance floor at 100k items); the ``!=`` control
+    falls back to scan in both modes and stays at parity.  Rows, row
+    order, simulated request counts, and billed bytes must be identical
+    between the two modes at every size.
+    """
+    return _sweep_select_modes(
+        domain_sizes, repeats, seed, _select_scaling_items,
+        _select_scaling_queries,
+    )
+
+
+def _range_query_items(count: int) -> List[Tuple[str, List[Tuple[str, str]]]]:
+    """Version- and time-shaped provenance items: ``u<obj>_<ver>`` (4
+    versions per object) carrying a zero-padded ``version`` attribute
+    and an ``mtime`` that grows with creation order — the shapes the
+    paper's queries bound by (ancestry walks bounded by version,
+    nightly-backup freshness by time).  Zero-padding is load-bearing:
+    range predicates compare lexicographically."""
+    groups = max(1, count // 100)
+    items: List[Tuple[str, List[Tuple[str, str]]]] = []
+    for i in range(count):
+        name = f"u{i // 4:07d}_{i % 4}"
+        pairs = [
+            ("type", "proc" if i % 25 == 0 else "file"),
+            # Group whole objects (not raw items) so every name bucket
+            # holds all four versions — the version-slice conjunction
+            # must match at every domain size.
+            ("name", f"prog-{(i // 4) % groups:05d}"),
+            ("version", f"{i % 4:04d}"),
+            ("mtime", f"{1_000_000 + i:09d}"),
+        ]
+        items.append((name, pairs))
+    return items
+
+
+def _range_query_queries(domain: str) -> List[Tuple[str, str]]:
+    """Fixed-selectivity range queries (~50-100 rows at every domain
+    size, so indexed cost stays O(matches) while scan cost grows with
+    the domain)."""
+    return [
+        (
+            "time-window",
+            f"select * from {domain} "
+            "where mtime >= '001000100' and mtime < '001000200'",
+        ),
+        (
+            "time-between",
+            f"select * from {domain} "
+            "where mtime between '001000300' and '001000399'",
+        ),
+        (
+            "version-slice",
+            f"select * from {domain} "
+            "where name = 'prog-00000' and version >= '0002'",
+        ),
+        (
+            "itemname-range",
+            f"select * from {domain} "
+            "where itemName() between 'u0000010_' and 'u0000034_z'",
+        ),
+        # Deliberate planner fallback: the != side of the OR is
+        # unindexable, so both modes scan — the parity control.
+        (
+            "range-scan-control",
+            f"select * from {domain} "
+            "where mtime < '001000200' or type != 'file'",
+        ),
+    ]
+
+
+def range_query(
+    domain_sizes: Sequence[int] = (1_000, 10_000, 60_000),
+    repeats: int = 3,
+    seed: int = 0,
+) -> SelectScalingResult:
+    """Range-predicate perf experiment: version-range and time-window
+    queries over growing stores, indexed vs the scan fallback.
+
+    Expected shape: the windows match a fixed number of rows at every
+    domain size, so the indexed wall-clock stays flat (O(matches) via
+    the sorted-value ranges) while the scan grows linearly — sublinear
+    growth, ≥5x speedup from 10k items up.  The OR-with-``!=`` control
+    scans in both modes and stays at parity.  Rows, row order, request
+    counts, and billed bytes identical between modes at every size.
+    """
+    return _sweep_select_modes(
+        domain_sizes,
+        repeats,
+        seed,
+        _range_query_items,
+        _range_query_queries,
+        title="Range queries: sorted-value indexes vs full-scan fallback",
+    )
 
 
 # ==========================================================================

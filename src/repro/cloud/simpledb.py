@@ -8,9 +8,13 @@ Semantics implemented (§2.3 of the paper):
   S3),
 - ``BatchPutAttributes`` accepts at most 25 items per call,
 - ``Select`` supports a subset of the SimpleDB query language used by the
-  paper's queries: ``=``, ``!=``, ``LIKE 'prefix%'``, ``IN (...)``,
+  paper's queries: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``,
+  ``BETWEEN ... AND ...``, ``LIKE 'prefix%'``, ``IN (...)``,
   ``AND``/``OR``, and ``itemName()``; every attribute is indexed, results
-  are paginated with a next-token,
+  are paginated with a next-token.  Comparisons are *lexicographic* on
+  the string values, exactly like the real service — numeric attributes
+  must be zero-padded by callers for range predicates to order correctly
+  (``'0002' < '0010'`` but ``'10' < '2'``),
 - reads are eventually consistent at item granularity.
 
 Pagination is capped at :data:`SELECT_PAGE_ITEMS` items (standing in for
@@ -19,13 +23,17 @@ needs several sequential round-trips on SimpleDB.
 
 Select execution is *indexed*, like the real service: every
 ``put``/``batch_put``/``delete`` incrementally maintains per-domain
-secondary indexes (attribute-value → item names, plus the sorted
-item-name order), and a small planner extracts index-usable predicates
-from the parsed WHERE tree.  The indexes over-approximate — they record
-every value an item has *ever* held — so each candidate is still
-verified through the same eventually-consistent ``_observe`` read the
-full scan uses, keeping answers, row ordering, and billing byte-identical
-to the ``use_indexes=False`` scan fallback.  A chain of pages runs off a
+secondary indexes (attribute-value → item names, the sorted item-name
+order, and a bisect-maintained sorted list of each attribute's distinct
+values serving the ordered comparisons), and a small planner extracts
+index-usable predicates from the parsed WHERE tree.  The indexes
+over-approximate — they record every value an item has *ever* held,
+except that an explicit ``DeleteAttributes`` un-indexes the deleted
+pairs once the deletion has fully propagated (``replace`` puts never
+un-index) — so each candidate is still verified through the same
+eventually-consistent ``_observe`` read the full scan uses, keeping
+answers, row ordering, and billing byte-identical to the
+``use_indexes=False`` scan fallback.  A chain of pages runs off a
 snapshot token: the match set is computed once at the first page and
 served page by page, instead of re-matching the whole domain per page.
 This makes a chain a *snapshot-consistent cursor* — a deliberate
@@ -128,6 +136,20 @@ class _Comparison(_Condition):
         if self.op == "in":
             allowed = set(self.values)
             return any(v in allowed for v in candidates)
+        # Ordered comparisons are lexicographic on the raw strings, like
+        # the real service; a multi-valued attribute matches if any of
+        # its values does.
+        if self.op == "<":
+            return any(v < self.values[0] for v in candidates)
+        if self.op == "<=":
+            return any(v <= self.values[0] for v in candidates)
+        if self.op == ">":
+            return any(v > self.values[0] for v in candidates)
+        if self.op == ">=":
+            return any(v >= self.values[0] for v in candidates)
+        if self.op == "between":
+            low, high = self.values
+            return any(low <= v <= high for v in candidates)
         raise QuerysyntaxError(f"unsupported operator {self.op!r}")
 
     def like_prefix(self) -> Optional[str]:
@@ -165,7 +187,7 @@ _TOKEN_RE = re.compile(
       | itemName\(\)              # item name function
       | [A-Za-z_][A-Za-z0-9_.\-]* # identifier / keyword
       | `[^`]+`                   # backtick-quoted attribute
-      | != | = | \( | \) | ,
+      | != | <= | >= | < | > | = | \( | \) | ,
     )
     """,
     re.VERBOSE,
@@ -192,8 +214,9 @@ class _Parser:
         expr    := term (OR term)*
         term    := factor (AND factor)*
         factor  := '(' expr ')' | comparison
-        comparison := attr ('=' | '!=') value
+        comparison := attr ('=' | '!=' | '<' | '<=' | '>' | '>=') value
                     | attr LIKE value
+                    | attr BETWEEN value AND value
                     | attr IN '(' value (',' value)* ')'
     """
 
@@ -243,8 +266,17 @@ class _Parser:
     def _comparison(self) -> _Condition:
         attribute = self._attribute(self._next())
         op = self._next().lower()
-        if op in ("=", "!="):
+        if op in ("=", "!=", "<", "<=", ">", ">="):
             return _Comparison(attribute, op, [self._value(self._next())])
+        if op == "between":
+            low = self._value(self._next())
+            keyword = self._next()
+            if keyword.lower() != "and":
+                raise QuerysyntaxError(
+                    f"expected AND in BETWEEN, got {keyword!r}"
+                )
+            high = self._value(self._next())
+            return _Comparison(attribute, "between", [low, high])
         if op == "like":
             return _Comparison(attribute, "like", [self._value(self._next())])
         if op == "in":
@@ -331,25 +363,42 @@ class _DomainState:
     """One domain's item registry and its secondary indexes.
 
     The indexes are *over-approximations* maintained on every write: they
-    record every attribute-value pair an item has ever held (replace and
-    delete never un-index), so an index lookup yields a superset of the
+    record every attribute-value pair an item has ever held (``replace``
+    puts never un-index), so an index lookup yields a superset of the
     items matching at any observation time.  Every candidate is then
     verified through ``_observe`` + the full condition, which is what
     keeps indexed selects byte-identical to scans under eventual
     consistency.  Values form sets, so re-puts of the same pair (the
     commit daemon's idempotent re-commits) never double-index.
+
+    The one removal path is an explicit ``DeleteAttributes``: the deleted
+    pairs are scheduled for un-indexing at the deleting write's
+    *visibility* time — never earlier, because until the delete has
+    propagated an eventually-consistent read can still observe the old
+    value, and pruning the entry then would make the indexed path miss a
+    row the scan still finds.  A re-put of the same pair cancels the
+    pending removal.
     """
 
-    __slots__ = ("registry", "names", "by_attr")
+    __slots__ = ("registry", "names", "by_attr", "sorted_values", "pending_unindex")
 
     def __init__(self) -> None:
         self.registry: Dict[str, VersionedRegister[ItemAttributes]] = {}
         #: Every item name ever written, kept sorted incrementally
-        #: (``bisect.insort`` on first insert) — select page order and
-        #: ``itemName() like 'prefix%'`` ranges read straight off it.
+        #: (``bisect.insort`` on first insert) — select page order,
+        #: ``itemName() like 'prefix%'`` ranges, and ``itemName()``
+        #: ordered comparisons read straight off it.
         self.names: List[str] = []
         #: attribute -> value -> set of item names that ever held it.
         self.by_attr: Dict[str, Dict[str, Set[str]]] = {}
+        #: attribute -> its distinct values in sorted order
+        #: (``bisect.insort`` on first sighting) — ordered comparisons
+        #: and ``BETWEEN`` narrow to a value range by binary search, then
+        #: union the hash-index name sets of the values in range.
+        self.sorted_values: Dict[str, List[str]] = {}
+        #: (attribute, value, item name) -> virtual time at which the
+        #: entry may be pruned (the deleting write's visibility time).
+        self.pending_unindex: Dict[Tuple[str, str, str], float] = {}
 
     def note_item(self, name: str) -> None:
         if name not in self.registry:
@@ -357,9 +406,50 @@ class _DomainState:
 
     def note_pairs(self, name: str, pairs: Sequence[Tuple[str, str]]) -> None:
         for attribute, value in pairs:
-            self.by_attr.setdefault(attribute, {}).setdefault(value, set()).add(
-                name
-            )
+            values = self.by_attr.setdefault(attribute, {})
+            if value not in values:
+                values[value] = set()
+                bisect.insort(self.sorted_values.setdefault(attribute, []), value)
+            values[value].add(name)
+            # A re-put beats any queued removal: the pair is live again.
+            self.pending_unindex.pop((attribute, value, name), None)
+
+    def schedule_unindex(
+        self, name: str, pairs: Sequence[Tuple[str, str]], visible_at: float
+    ) -> None:
+        """Queue index-entry removals for explicitly deleted pairs; they
+        fire lazily once a select observes a time past ``visible_at``."""
+        for attribute, value in pairs:
+            key = (attribute, value, name)
+            queued = self.pending_unindex.get(key)
+            if queued is None or visible_at > queued:
+                self.pending_unindex[key] = visible_at
+
+    def prune_unindexed(self, now: float) -> int:
+        """Apply every queued removal whose delete is fully visible at
+        ``now``.  Returns how many entries were pruned."""
+        if not self.pending_unindex:
+            return 0
+        fired = [
+            key for key, at in self.pending_unindex.items() if at <= now
+        ]
+        for key in fired:
+            del self.pending_unindex[key]
+            attribute, value, name = key
+            values = self.by_attr.get(attribute)
+            if not values:
+                continue
+            names = values.get(value)
+            if names is None:
+                continue
+            names.discard(name)
+            if not names:
+                del values[value]
+                ordered = self.sorted_values.get(attribute, [])
+                index = bisect.bisect_left(ordered, value)
+                if index < len(ordered) and ordered[index] == value:
+                    ordered.pop(index)
+        return len(fired)
 
     def names_with(self, attribute: str, value: str) -> Set[str]:
         values = self.by_attr.get(attribute)
@@ -377,6 +467,107 @@ class _DomainState:
             out.append(name)
         return out
 
+    @staticmethod
+    def _range_slice(
+        ordered: List[str],
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+    ) -> Tuple[int, int]:
+        """Binary-searched ``[start, stop)`` indices of a lexicographic
+        range over a sorted list (``None`` bound = unbounded)."""
+        start = 0
+        if low is not None:
+            start = (
+                bisect.bisect_left(ordered, low)
+                if incl_low
+                else bisect.bisect_right(ordered, low)
+            )
+        stop = len(ordered)
+        if high is not None:
+            stop = (
+                bisect.bisect_right(ordered, high)
+                if incl_high
+                else bisect.bisect_left(ordered, high)
+            )
+        return start, max(start, stop)
+
+    def names_in_name_range(
+        self,
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+        limit: Optional[int] = None,
+    ) -> Optional[List[str]]:
+        """Item names inside a lexicographic ``itemName()`` range, read
+        off the sorted name order — or ``None`` when the range spans
+        more than ``limit`` names (the planner's wide-range bailout: a
+        candidate walk over most of the domain is no faster than the
+        scan it replaces)."""
+        start, stop = self._range_slice(self.names, low, high, incl_low, incl_high)
+        if limit is not None and stop - start > limit:
+            return None
+        return self.names[start:stop]
+
+    def names_in_value_range(
+        self,
+        attribute: str,
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+        limit: Optional[int] = None,
+    ) -> Optional[Set[str]]:
+        """Union of the hash-index name sets for every indexed value of
+        ``attribute`` inside the lexicographic range — or ``None`` when
+        the range spans more than ``limit`` distinct values *or* the
+        accumulated union exceeds ``limit`` names (a low-cardinality
+        attribute can cover most of the domain in a handful of values;
+        the bailout is about candidate-walk cost, which is names, not
+        values)."""
+        values = self.by_attr.get(attribute)
+        if not values:
+            return set()
+        ordered = self.sorted_values.get(attribute, [])
+        start, stop = self._range_slice(ordered, low, high, incl_low, incl_high)
+        if limit is not None and stop - start > limit:
+            return None
+        out: Set[str] = set()
+        for value in ordered[start:stop]:
+            names = values.get(value)
+            if names:
+                out |= names
+                if limit is not None and len(out) > limit:
+                    return None
+        return out
+
+
+def _range_plan_limit(state: "_DomainState") -> int:
+    """The widest range (in distinct values / item names) the planner
+    will materialize as a candidate set.  A half-open range like
+    ``version >= '0000'`` can span nearly every value in the domain;
+    walking all of it through the index is no faster than the scan it
+    replaces, so past a quarter of the domain the range is treated as
+    unindexable.  Under ``AND`` this is what makes intersections cheap:
+    the narrow side alone narrows the query and verification enforces
+    the wide side — sound even for multi-valued attributes, where
+    true interval-merging would not be (two *different* values can
+    satisfy ``a >= x AND a < y``)."""
+    return max(64, len(state.names) // 4)
+
+
+#: op -> (low, high, incl_low, incl_high) extracted from the condition's
+#: value list; ``None`` bounds are unbounded.
+_RANGE_BOUNDS = {
+    "<": lambda values: (None, values[0], True, False),
+    "<=": lambda values: (None, values[0], True, True),
+    ">": lambda values: (values[0], None, False, True),
+    ">=": lambda values: (values[0], None, True, True),
+    "between": lambda values: (values[0], values[1], True, True),
+}
+
 
 def _plan_candidates(
     condition: _Condition, state: _DomainState
@@ -387,8 +578,12 @@ def _plan_candidates(
     a superset of the item names that can match.  Rules:
 
     - ``attr = 'v'`` / ``attr IN (...)`` — hash-index lookups,
+    - ``attr < / <= / > / >= 'v'`` and ``attr BETWEEN 'a' AND 'b'`` —
+      binary-searched ranges over the attribute's sorted distinct
+      values, unioning the hash-index name sets of the values in range,
     - ``itemName()`` comparisons — the sorted-name structure (``LIKE
-      'prefix%'`` becomes a binary-searched range),
+      'prefix%'`` and the ordered comparisons become binary-searched
+      ranges),
     - ``a AND b`` — intersect when both sides are indexable, else use
       whichever side is (the unindexed side is enforced by verification),
     - ``a OR b`` — union, but only when *both* sides are indexable,
@@ -424,6 +619,19 @@ def _plan_candidates(
         if prefix is None:
             return None
         return set(state.names_with_prefix(prefix))
+    if condition.op in _RANGE_BOUNDS:
+        low, high, incl_low, incl_high = _RANGE_BOUNDS[condition.op](
+            condition.values
+        )
+        limit = _range_plan_limit(state)
+        if condition.attribute == "itemName()":
+            names = state.names_in_name_range(
+                low, high, incl_low, incl_high, limit=limit
+            )
+            return None if names is None else set(names)
+        return state.names_in_value_range(
+            condition.attribute, low, high, incl_low, incl_high, limit=limit
+        )
     return None
 
 
@@ -464,6 +672,15 @@ class SelectEngineStats:
     #: Pages that resumed an *expired* snapshot token by re-matching the
     #: domain at the page's own observation time (the clean fallback).
     expired_token_rematches: int = 0
+    #: Select chains started per domain (first pages only, not
+    #: continuation pages) — the per-shard request counter the sharded
+    #: query engine's routing tests assert against.
+    chains_by_domain: Dict[str, int] = field(default_factory=dict)
+    #: Index entries removed after a DeleteAttributes fully propagated.
+    unindexed_pruned: int = 0
+
+    def note_chain(self, domain: str) -> None:
+        self.chains_by_domain[domain] = self.chains_by_domain.get(domain, 0) + 1
 
 
 def _pairs_size(pairs: Sequence[Tuple[str, str]]) -> int:
@@ -589,22 +806,74 @@ class SimpleDBService:
             label=f"sdb.Put {domain}/{item}",
         )
 
-    def delete_request(self, domain: str, item: str) -> Request:
-        """Build a ``DeleteAttributes`` request for a whole item.
+    def delete_request(
+        self,
+        domain: str,
+        item: str,
+        attributes: Optional[Sequence[Union[str, Tuple[str, str]]]] = None,
+    ) -> Request:
+        """Build a ``DeleteAttributes`` request.
 
-        Writes a deletion tombstone: once it propagates, the item
-        disappears from gets and selects.  The secondary indexes keep
-        their entries (they over-approximate); ``_observe`` filters the
-        tombstoned item out of every candidate set, so indexed and
-        scanned selects agree."""
+        With ``attributes=None`` (the default) the whole item is
+        deleted: a deletion tombstone is written and, once it
+        propagates, the item disappears from gets and selects.  Each
+        entry of ``attributes`` may be an attribute name (delete every
+        value of that attribute) or an ``(attribute, value)`` pair
+        (delete that one value); deleting an item's last attribute
+        deletes the item, as in the real service.
+
+        Either way the deleted pairs are *scheduled* for removal from
+        the secondary indexes at the deleting write's visibility time —
+        not before, because an eventually-consistent read inside the
+        propagation window can still observe the old values, and the
+        planner's candidate sets must stay supersets of what any
+        observation time can see.  Until the pruning fires, ``_observe``
+        filters the deleted values out of every candidate set, so
+        indexed and scanned selects agree throughout."""
         state = self._domain(domain)
         payload = len(item.encode())
+        if attributes:
+            for spec in attributes:
+                if isinstance(spec, str):
+                    payload += len(spec.encode())
+                else:
+                    payload += len(spec[0].encode()) + len(spec[1].encode())
 
         def apply(start: float, finish: float) -> None:
             register = state.registry.get(item)
             if register is not None:
+                latest = register.read_latest_committed(finish)
+                current: ItemAttributes = {}
+                if latest is not None and not latest.deleted and latest.value:
+                    current = {a: list(v) for a, v in latest.value.items()}
                 visible = self._consistency.visibility_for(finish)
-                register.delete(finish, visible)
+                removed: List[Tuple[str, str]] = []
+                # Truthiness, not an is-None check, so an empty spec
+                # list agrees with the payload branch and means a
+                # whole-item delete rather than a silent item rewrite.
+                if not attributes:
+                    removed = [
+                        (a, v) for a, vals in current.items() for v in vals
+                    ]
+                    current = {}
+                else:
+                    for spec in attributes:
+                        if isinstance(spec, str):
+                            for value in current.pop(spec, []):
+                                removed.append((spec, value))
+                        else:
+                            attr, value = spec
+                            values = current.get(attr, [])
+                            if value in values:
+                                values.remove(value)
+                                removed.append((attr, value))
+                            if not values:
+                                current.pop(attr, None)
+                if current:
+                    register.write(current, finish, visible)
+                else:
+                    register.delete(finish, visible)
+                state.schedule_unindex(item, removed, visible)
             # Deleting an absent item is a billable no-op (idempotent).
             self._billing.record("simpledb", "DeleteAttributes", bytes_in=payload)
 
@@ -659,6 +928,8 @@ class SimpleDBService:
 
         def apply(start: float, finish: float) -> SelectPage:
             self._expire_snapshots(start)
+            if not next_token:
+                self.select_stats.note_chain(prepared.domain)
             snapshot_id: Optional[int] = None
             if next_token:
                 snapshot_id, offset, matches = self._resume_select(
@@ -716,8 +987,15 @@ class SimpleDBService:
     def get_attributes(self, domain: str, item: str) -> ItemAttributes:
         return self._scheduler.execute_one(self.get_request(domain, item))
 
-    def delete_attributes(self, domain: str, item: str) -> None:
-        self._scheduler.execute_one(self.delete_request(domain, item))
+    def delete_attributes(
+        self,
+        domain: str,
+        item: str,
+        attributes: Optional[Sequence[Union[str, Tuple[str, str]]]] = None,
+    ) -> None:
+        self._scheduler.execute_one(
+            self.delete_request(domain, item, attributes)
+        )
 
     def select(
         self, expression: Union[str, PreparedSelect]
@@ -813,6 +1091,11 @@ class SimpleDBService:
         paths return byte-identical rows.  ``count_stats`` is false for
         legacy-token re-matches, which are continuation pages of a chain
         already counted."""
+        # Apply any DeleteAttributes un-indexing whose propagation window
+        # has fully elapsed by this observation time.  Pruning never
+        # changes answers (candidates are verified either way); it keeps
+        # range and equality candidate sets from accreting dead values.
+        self.select_stats.unindexed_pruned += state.prune_unindexed(start)
         candidates: Optional[Set[str]] = None
         if condition is None:
             if count_stats:
@@ -956,3 +1239,13 @@ class SimpleDBService:
         if state is None:
             return 0
         return len(state.names_with(attribute, value))
+
+    def sorted_index_values(self, domain: str, attribute: str) -> List[str]:
+        """The sorted distinct values the range index currently holds
+        for ``attribute`` (tests & planner diagnostics).  Values whose
+        ``DeleteAttributes`` has propagated — and whose last holder was
+        pruned by a subsequent select — no longer appear."""
+        state = self._domains.get(domain)
+        if state is None:
+            return []
+        return list(state.sorted_values.get(attribute, []))

@@ -21,7 +21,7 @@ the paper's Table 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.account import CloudAccount
@@ -53,6 +53,30 @@ class QueryStats:
     @property
     def mb_transferred(self) -> float:
         return self.bytes_transferred / (1024.0 * 1024.0)
+
+
+@dataclass
+class ShardFanoutStats:
+    """How an engine's chunked selects were routed across domains.
+
+    The routing contract the regression tests pin: chunks rooted at
+    ``itemName()`` values go to exactly the shard owning those names
+    (``single_shard_chunks``); attribute-rooted chunks cannot be routed
+    — the matching items may live in any shard — so they fan out to
+    every domain (``fanned_out_selects`` counts each chunk x domain
+    chain)."""
+
+    #: itemName-rooted IN chunks, each routed to exactly one domain.
+    single_shard_chunks: int = 0
+    #: Select chains issued by unrouted fan-out (chunk x domain).
+    fanned_out_selects: int = 0
+    #: Select chains this engine started, per domain.
+    selects_by_domain: Dict[str, int] = field(default_factory=dict)
+
+    def note_select(self, domain: str) -> None:
+        self.selects_by_domain[domain] = (
+            self.selects_by_domain.get(domain, 0) + 1
+        )
 
 
 class _Measured:
@@ -200,6 +224,7 @@ class SimpleDBQueryEngine:
         self.domain = domain
         self.bucket = bucket
         self.parallel_connections = parallel_connections
+        self.fanout = ShardFanoutStats()
 
     # -- domain routing (overridden by the sharded engine) ---------------------
 
@@ -210,6 +235,15 @@ class SimpleDBQueryEngine:
     def _domain_for_uuid(self, uuid: str) -> str:
         """The single domain holding the items of one object's uuid."""
         return self.domain
+
+    def _domains_for_names(
+        self, names: Sequence[str]
+    ) -> List[Tuple[str, List[str]]]:
+        """Group item names by the domain that owns them, preserving
+        order within each group.  The base engine has one domain; the
+        sharded engine routes each name to its owning shard via the
+        router's uuid hash."""
+        return [(self.domain, list(names))]
 
     # -- internals ------------------------------------------------------------
 
@@ -266,7 +300,65 @@ class SimpleDBQueryEngine:
         """One select chain run to completion: the single parsed/planned
         :class:`PreparedSelect` is reused across every next-token page
         instead of re-parsing the expression per page."""
+        self.fanout.note_select(prepared.domain)
         return self.account.simpledb.select(prepared)
+
+    def _run_select_chains(
+        self, selects: Sequence[PreparedSelect], parallel: bool
+    ) -> List[Tuple[str, Dict[str, List[str]]]]:
+        """Run independent select chains to completion, concatenating
+        their rows in chain order.  With ``parallel`` the first pages go
+        out in one batch and each chain's continuation pages advance
+        sequentially (next-tokens cannot be parallelized within a
+        chain)."""
+        rows: List[Tuple[str, Dict[str, List[str]]]] = []
+        if parallel:
+            for prepared in selects:
+                self.fanout.note_select(prepared.domain)
+            requests = [
+                self.account.simpledb.select_request(prepared)
+                for prepared in selects
+            ]
+            batch = self.account.scheduler.execute_batch(
+                requests, self.parallel_connections
+            )
+            for expr_index, page in enumerate(batch.results):
+                rows.extend(page.rows)
+                token = page.next_token
+                while token:
+                    next_page = self.account.scheduler.execute_one(
+                        self.account.simpledb.select_request(
+                            selects[expr_index], token
+                        )
+                    )
+                    rows.extend(next_page.rows)
+                    token = next_page.next_token
+        else:
+            for prepared in selects:
+                rows.extend(self._paged_rows(prepared))
+        return rows
+
+    def _select_by_names(
+        self, names: Sequence[str], parallel: bool = False
+    ) -> List[Tuple[str, Dict[str, List[str]]]]:
+        """All visible items with the given names, fetched as chunked
+        ``itemName() IN (...)`` selects.  Unlike attribute-rooted
+        lookups these chunks are *routable*: each chunk's names all hash
+        to one known domain, so on a sharded deployment it contacts
+        exactly the owning shard instead of fanning out."""
+        selects: List[PreparedSelect] = []
+        for domain, group in self._domains_for_names(names):
+            for start in range(0, len(group), _IN_CHUNK):
+                chunk = group[start : start + _IN_CHUNK]
+                selects.append(
+                    prepare_select(
+                        "select * from {} where itemName() in ({})".format(
+                            domain, ", ".join(f"'{name}'" for name in chunk)
+                        )
+                    )
+                )
+        self.fanout.single_shard_chunks += len(selects)
+        return self._run_select_chains(selects, parallel)
 
     def _select_procs_named(self, program: str) -> List[NodeRef]:
         refs: List[NodeRef] = []
@@ -301,31 +393,8 @@ class SimpleDBQueryEngine:
             for domain in self._domains()
             for chunk in chunks
         ]
-        rows: List[Tuple[str, Dict[str, List[str]]]] = []
-        if parallel:
-            requests = [
-                self.account.simpledb.select_request(prepared)
-                for prepared in selects
-            ]
-            batch = self.account.scheduler.execute_batch(
-                requests, self.parallel_connections
-            )
-            pages = batch.results
-            for expr_index, page in enumerate(pages):
-                rows.extend(page.rows)
-                token = page.next_token
-                while token:
-                    next_page = self.account.scheduler.execute_one(
-                        self.account.simpledb.select_request(
-                            selects[expr_index], token
-                        )
-                    )
-                    rows.extend(next_page.rows)
-                    token = next_page.next_token
-        else:
-            for prepared in selects:
-                rows.extend(self._paged_rows(prepared))
-        return rows
+        self.fanout.fanned_out_selects += len(selects)
+        return self._run_select_chains(selects, parallel)
 
     # -- the four queries ------------------------------------------------------------
 
@@ -358,6 +427,36 @@ class SimpleDBQueryEngine:
                 )
             ))
             for _name, attributes in rows:
+                for attribute, values in self._resolve(attributes).items():
+                    merged.setdefault(attribute, []).extend(values)
+        return merged, window.stats()
+
+    def q2_version_range(
+        self,
+        path: str,
+        first_version: int,
+        last_version: int,
+        parallel: bool = False,
+    ) -> Tuple[Dict[str, List[str]], QueryStats]:
+        """Q2 bounded by version: the provenance of one object's
+        versions ``first_version..last_version`` (inclusive) — the
+        version-bounded ancestry lookups the paper's queries are shaped
+        like.  HEAD the data object for its uuid, then fetch exactly the
+        items ``uuid_first .. uuid_last`` through itemName-rooted IN
+        chunks.  Explicit names rather than an item-name range because
+        versions in item names are not zero-padded (``uuid_10`` sorts
+        before ``uuid_2``); on a sharded deployment every chunk routes
+        to the one shard owning the uuid."""
+        window = _Measured(self.account)
+        head = self.account.s3.head(self.bucket, data_key(path))
+        uuid = head.metadata.get("prov-uuid", "")
+        merged: Dict[str, List[str]] = {}
+        if uuid and last_version >= first_version:
+            names = [
+                str(NodeRef(uuid, version))
+                for version in range(first_version, last_version + 1)
+            ]
+            for _name, attributes in self._select_by_names(names, parallel):
                 for attribute, values in self._resolve(attributes).items():
                     merged.setdefault(attribute, []).extend(values)
         return merged, window.stats()
@@ -409,9 +508,13 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
     makes that lookup local), Q3/Q4's reference lookups fan out to every
     shard, and Q1 pages each shard's next-token chain — chains of
     *different* shards are independent, so unlike the single-domain case
-    Q1 can run them in parallel.  Answers are byte-identical to the
-    single-domain engine over the same store: routing moves items between
-    domains but never changes them.
+    Q1 can run them in parallel.  The routing is *index-aware* for
+    itemName-rooted chunks: a ``itemName() IN (...)`` chunk's names all
+    hash to a known shard, so `_select_by_names` contacts exactly the
+    owning shard instead of fanning the chunk to every domain
+    (``fanout.single_shard_chunks`` vs ``fanout.fanned_out_selects``).
+    Answers are byte-identical to the single-domain engine over the same
+    store: routing moves items between domains but never changes them.
     """
 
     def __init__(
@@ -435,6 +538,18 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
     def _domain_for_uuid(self, uuid: str) -> str:
         return self.router.domain_for(uuid)
 
+    def _domains_for_names(
+        self, names: Sequence[str]
+    ) -> List[Tuple[str, List[str]]]:
+        """Route each ``uuid_version`` item name to its owning shard via
+        the router's stable uuid hash — the index-aware fan-out: a chunk
+        of names never needs to visit a shard that cannot hold them."""
+        grouped: Dict[str, List[str]] = {}
+        for name in names:
+            uuid = name.rpartition("_")[0] or name
+            grouped.setdefault(self.router.domain_for(uuid), []).append(name)
+        return list(grouped.items())
+
     def q1_all_provenance(
         self, parallel: bool = False
     ) -> Tuple[ProvenanceIndex, QueryStats]:
@@ -447,22 +562,7 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
         selects = [
             prepare_select(f"select * from {domain}") for domain in self._domains()
         ]
-        batch = self.account.scheduler.execute_batch(
-            [self.account.simpledb.select_request(p) for p in selects],
-            self.parallel_connections,
-        )
-        rows: List[Tuple[str, Dict[str, List[str]]]] = []
-        for expr_index, page in enumerate(batch.results):
-            rows.extend(page.rows)
-            token = page.next_token
-            while token:
-                next_page = self.account.scheduler.execute_one(
-                    self.account.simpledb.select_request(
-                        selects[expr_index], token
-                    )
-                )
-                rows.extend(next_page.rows)
-                token = next_page.next_token
+        rows = self._run_select_chains(selects, parallel=True)
         return self._rows_to_index(rows), window.stats()
 
 

@@ -1,0 +1,111 @@
+"""Index-aware shard fan-out: itemName-rooted chunks hit one shard.
+
+The routing contract on the multitenant fixture: a chunked
+``itemName() IN (...)`` select's names all hash to a known shard, so
+the sharded engine contacts exactly that shard (asserted through the
+service's per-domain chain counters, not just the engine's own stats);
+attribute-rooted lookups cannot be routed and still fan out to every
+shard; and routing never changes answers — the routed engine returns
+byte-identical results to a naive fan-to-every-shard engine.
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cloud.account import CloudAccount
+from repro.query.engine import ShardedSimpleDBQueryEngine
+from repro.service import IngestGateway, ShardRouter
+from repro.workloads.fleet import FLEET_PROGRAM, make_fleet, run_fleet
+
+TARGET = "/mnt/s3/fleet/c0000/f000.dat"
+TARGET_UUID = "c0000-f000"
+
+
+def _fixture(shards=3, seed=5):
+    account = CloudAccount(seed=seed)
+    router = ShardRouter(shards=shards)
+    gateway = IngestGateway(account, router)
+    fleet = make_fleet(clients=6, files_per_client=3, seed=seed)
+    run_fleet(account, gateway, fleet, seed=seed)
+    account.settle(120.0)
+    return account, router
+
+
+def _chains_delta(account, before) -> Dict[str, int]:
+    after = account.simpledb.select_stats.chains_by_domain
+    return {
+        domain: count - before.get(domain, 0)
+        for domain, count in after.items()
+        if count != before.get(domain, 0)
+    }
+
+
+class _NaiveFanoutEngine(ShardedSimpleDBQueryEngine):
+    """The pre-routing behaviour: every itemName chunk to every shard."""
+
+    def _domains_for_names(
+        self, names: Sequence[str]
+    ) -> List[Tuple[str, List[str]]]:
+        return [(domain, list(names)) for domain in self._domains()]
+
+
+def test_itemname_rooted_chunks_hit_exactly_one_shard():
+    account, router = _fixture()
+    engine = ShardedSimpleDBQueryEngine(account, router)
+    before = dict(account.simpledb.select_stats.chains_by_domain)
+    answer, _ = engine.q2_version_range(TARGET, 0, 3)
+    assert answer  # the target's provenance is really there
+    delta = _chains_delta(account, before)
+    owning = router.domain_for(TARGET_UUID)
+    assert list(delta) == [owning], delta
+    assert engine.fanout.single_shard_chunks >= 1
+    assert engine.fanout.fanned_out_selects == 0
+
+
+def test_non_rooted_queries_still_fan_out():
+    account, router = _fixture()
+    engine = ShardedSimpleDBQueryEngine(account, router)
+    before = dict(account.simpledb.select_stats.chains_by_domain)
+    q3, _ = engine.q3_direct_outputs(FLEET_PROGRAM)
+    assert q3
+    delta = _chains_delta(account, before)
+    # The proc lookup and the reference lookup both visit every shard.
+    assert sorted(delta) == sorted(router.domains)
+    assert engine.fanout.fanned_out_selects >= len(router.domains)
+
+
+def test_routed_answers_byte_identical_to_naive_fanout():
+    account, router = _fixture()
+    routed = ShardedSimpleDBQueryEngine(account, router)
+    naive = _NaiveFanoutEngine(account, router)
+
+    routed_answer, _ = routed.q2_version_range(TARGET, 0, 3)
+    before = dict(account.simpledb.select_stats.chains_by_domain)
+    naive_answer, _ = naive.q2_version_range(TARGET, 0, 3)
+    # The naive engine really did contact every shard...
+    assert sorted(_chains_delta(account, before)) == sorted(router.domains)
+    # ...for the same bytes the routed single-shard lookup returned.
+    assert repr(routed_answer) == repr(naive_answer)
+
+
+def test_version_range_covers_q2_on_single_version_objects():
+    """A range spanning every version of the object returns exactly the
+    full Q2 answer (merged attributes, same order)."""
+    account, router = _fixture()
+    engine = ShardedSimpleDBQueryEngine(account, router)
+    full, _ = engine.q2_object_provenance(TARGET)
+    ranged, _ = engine.q2_version_range(TARGET, 0, 3)
+    assert repr(ranged) == repr(full)
+
+
+def test_single_shard_router_degenerates_cleanly():
+    account = CloudAccount(seed=5)
+    router = ShardRouter(shards=1)
+    gateway = IngestGateway(account, router)
+    fleet = make_fleet(clients=3, files_per_client=2, seed=5)
+    run_fleet(account, gateway, fleet, seed=5)
+    account.settle(120.0)
+    engine = ShardedSimpleDBQueryEngine(account, router)
+    ranged, _ = engine.q2_version_range(TARGET, 0, 3)
+    full, _ = engine.q2_object_provenance(TARGET)
+    assert repr(ranged) == repr(full)
+    assert engine.fanout.single_shard_chunks >= 1
