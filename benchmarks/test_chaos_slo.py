@@ -33,7 +33,12 @@ def test_chaos_slo_sweep(once, benchmark):
         seed=0,
     )
     print("\n" + result.render())
-    print("results json:", write_bench_json("chaos_slo", result.as_json()))
+    print(
+        "results json:",
+        write_bench_json(
+            "chaos_slo", result.as_json(), telemetry=result.telemetry
+        ),
+    )
 
     points = {
         (p.clients, p.daemons, p.schedule): p for p in result.points
@@ -48,6 +53,14 @@ def test_chaos_slo_sweep(once, benchmark):
     # The chaos recovery invariant: crashed+respawned runs end with
     # Q1-Q4 answers and query billing byte-identical to uncrashed runs.
     assert result.recovery_identical
+
+    # The p99 commit-lag table reproduces from record-lifecycle traces:
+    # the wal.logged -> commit.done spans are an independent derivation
+    # from the daemons' commit-log bookkeeping, and they agree exactly —
+    # per-transaction lags and therefore every percentile.
+    for point in result.points:
+        assert point.trace_lags_match
+        assert point.lag_p99_trace_s == point.lag_p99_s
 
     # The chaos actually happened: recurring crashes fired repeatedly
     # and every kill was answered by a fresh-daemon respawn.
@@ -99,3 +112,4 @@ def test_chaos_slo_sweep(once, benchmark):
         seed=0,
     )
     assert replay.as_json() == result.as_json()
+    assert replay.telemetry == result.telemetry

@@ -23,7 +23,12 @@ def test_commit_lag_over_virtual_time(once, benchmark):
         seed=0,
     )
     print("\n" + result.render())
-    print("results json:", write_bench_json("commit_lag", result.as_json()))
+    print(
+        "results json:",
+        write_bench_json(
+            "commit_lag", result.as_json(), telemetry=result.telemetry
+        ),
+    )
 
     # ≥ 2 concurrent clients and ≥ 1 in-loop daemon actually ran.
     assert result.clients >= 2
@@ -47,6 +52,7 @@ def test_commit_lag_over_virtual_time(once, benchmark):
         clients=4, files_per_client=5, daemons=1, seed=0
     )
     assert replay.as_json() == result.as_json()
+    assert replay.telemetry == result.telemetry
 
 
 def test_second_daemon_shortens_drain(once, benchmark):

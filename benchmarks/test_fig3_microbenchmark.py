@@ -26,6 +26,7 @@ def test_fig3_microbenchmark(once, benchmark):
             }
             for env_name, per_config in result.results.items()
         },
+        telemetry=result.telemetry,
     )
 
     for env_name, per_config in result.results.items():

@@ -16,7 +16,7 @@ def test_multitenant_shard_scaling(once, benchmark):
     result = once(benchmark, multitenant_scaling)
     print("\n" + result.render())
     print("results json:", write_bench_json(
-        "multitenant_scaling", result.as_json()
+        "multitenant_scaling", result.as_json(), telemetry=result.telemetry
     ))
 
     throughputs = [point.throughput for point in result.points]

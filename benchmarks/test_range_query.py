@@ -36,7 +36,12 @@ def _domain_sizes():
 def test_range_query(once, benchmark):
     result = once(benchmark, range_query, domain_sizes=_domain_sizes())
     print("\n" + result.render())
-    print("results json:", write_bench_json("range_query", result.as_json()))
+    print(
+        "results json:",
+        write_bench_json(
+            "range_query", result.as_json(), telemetry=result.telemetry
+        ),
+    )
 
     for point in result.points:
         for cell in point.cells:

@@ -33,7 +33,12 @@ def _domain_sizes():
 def test_select_scaling(once, benchmark):
     result = once(benchmark, select_scaling, domain_sizes=_domain_sizes())
     print("\n" + result.render())
-    print("results json:", write_bench_json("select_scaling", result.as_json()))
+    print(
+        "results json:",
+        write_bench_json(
+            "select_scaling", result.as_json(), telemetry=result.telemetry
+        ),
+    )
 
     for point in result.points:
         for cell in point.cells:

@@ -283,6 +283,9 @@ def table2_service_throughput(
 class Fig3Result:
     #: environment name -> configuration -> result
     results: Dict[str, Dict[str, MicrobenchResult]]
+    #: environment name -> final metrics snapshot of the P3 upload run
+    #: (billing gauges and service counters for the headline protocol).
+    telemetry: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def render(self) -> str:
         parts = []
@@ -335,13 +338,19 @@ def fig3_microbenchmark(
     workload = _workload_by_name("blast", scale)
     envs = {"ec2": EC2_ENV, "uml": UML_ENV, "local": LOCAL_ENV}
     results: Dict[str, Dict[str, MicrobenchResult]] = {}
+    telemetry: Dict[str, Dict[str, object]] = {}
     for env_name in environments:
         profile = SimulationProfile().with_environment(envs[env_name])
-        results[env_name] = {
-            config: run_microbenchmark(workload, config, profile=profile, seed=seed)
-            for config in CONFIGURATIONS
-        }
-    return Fig3Result(results=results)
+        per_config: Dict[str, MicrobenchResult] = {}
+        for config in CONFIGURATIONS:
+            account = CloudAccount(profile=profile, seed=seed)
+            per_config[config] = run_microbenchmark(
+                workload, config, profile=profile, seed=seed, account=account
+            )
+            if config == "p3":
+                telemetry[env_name] = account.telemetry.metrics.snapshot()
+        results[env_name] = per_config
+    return Fig3Result(results=results, telemetry=telemetry)
 
 
 @dataclass
@@ -747,6 +756,9 @@ class MultiTenantResult:
     cache_warm_ops: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Final metrics snapshot of the last swept shard count's run
+    #: (gateway, cache, and billing gauges after the cache exercise).
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     def render(self) -> str:
         table = render_table(
@@ -882,6 +894,7 @@ def multitenant_scaling(
         cache_warm_ops=cache_numbers[1],
         cache_hits=cache_numbers[2],
         cache_misses=cache_numbers[3],
+        telemetry=account.telemetry.metrics.snapshot(),
     )
 
 
@@ -913,6 +926,10 @@ class CommitLagResult:
     #: ordered by commit completion.
     commit_timeline: List[Tuple[str, float, float]]
     crashed_processes: List[str] = field(default_factory=list)
+    #: Final metrics snapshot (daemon counters, queue-depth gauge,
+    #: billing) — the kernel-driven scraper also sampled these into the
+    #: registry's time series during the run.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def lags(self) -> List[float]:
@@ -1068,6 +1085,7 @@ def commit_lag_experiment(
         )
 
     kernel.every(sample_interval, sample, name="monitor")
+    kernel.scrape_every(sample_interval)
 
     kernel.run()  # clients to completion (or their timed crashes)
     # Let the daemons drain the backlog; the horizon bounds runs where a
@@ -1110,6 +1128,7 @@ def commit_lag_experiment(
         crashed_processes=sorted(
             p.name for p in kernel.processes if p.state.value == "crashed"
         ),
+        telemetry=account.telemetry.metrics.snapshot(),
     )
 
 
@@ -1163,6 +1182,9 @@ class SelectScalingResult:
     points: List[SelectScalingPoint]
     repeats: int
     title: str = "Select scaling: indexed engine vs full-scan fallback"
+    #: Final metrics snapshot of the largest domain's account (select
+    #: planner counters and billing gauges).
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     def render(self) -> str:
         rows = []
@@ -1301,9 +1323,11 @@ def _sweep_select_modes(
                 )
                 first = True
                 for _ in range(repeats):
-                    t0 = time.perf_counter()
+                    # Real host time on purpose: the index removes the
+                    # simulator's own Python cost.  wallclock-ok
+                    t0 = time.perf_counter()  # wallclock-ok
                     rows = sdb.select(expression)
-                    best = min(best, time.perf_counter() - t0)
+                    best = min(best, time.perf_counter() - t0)  # wallclock-ok
                     if first:
                         first = False
                         ops = (
@@ -1344,7 +1368,12 @@ def _sweep_select_modes(
                 )
             )
         points.append(SelectScalingPoint(items=count, cells=cells))
-    return SelectScalingResult(points=points, repeats=repeats, title=title)
+    return SelectScalingResult(
+        points=points,
+        repeats=repeats,
+        title=title,
+        telemetry=account.telemetry.metrics.snapshot(),
+    )
 
 
 def select_scaling(
@@ -1489,6 +1518,13 @@ class ChaosSLOPoint:
     reader_samples: int
     reader_stale_peak: int
     reader_final_stale: int
+    #: p99 commit lag re-derived from record-lifecycle traces
+    #: (``wal.logged`` -> ``commit.done`` spans) instead of the daemons'
+    #: commit-log bookkeeping — the two derivations are independent.
+    lag_p99_trace_s: float = 0.0
+    #: Per-transaction trace-derived lags match the commit-log lags
+    #: exactly (same txn set, same float values).
+    trace_lags_match: bool = True
 
 
 @dataclass
@@ -1502,6 +1538,9 @@ class ChaosRunOutcome:
     #: (operations, bytes) billed by running Q1-Q4 against the settled
     #: store — identical stores bill identically.
     query_billing: Tuple[int, int]
+    #: Final metrics-registry snapshot for the run (after the Q1-Q4
+    #: fingerprint queries billed).
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -1517,13 +1556,16 @@ class ChaosSLOResult:
     #: run at the same (clients, daemons): Q1-Q4 answers and their
     #: billing — the chaos recovery invariant.
     recovery_identical: bool
+    #: ``c<clients>-d<daemons>-<schedule>`` -> that run's final metrics
+    #: snapshot (the BENCH ``telemetry`` section carries these).
+    telemetry: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def render(self) -> str:
         table = render_table(
             (
                 "Clients", "Daemons", "Schedule", "Committed", "Drain (s)",
-                "Lag mean", "Lag p99", "Lag max", "Crashes", "Respawns",
-                "Stale peak",
+                "Lag mean", "Lag p99", "p99 (trace)", "Lag max", "Crashes",
+                "Respawns", "Stale peak",
             ),
             [
                 (
@@ -1534,6 +1576,8 @@ class ChaosSLOResult:
                     f"{p.drain_seconds:.1f}",
                     f"{p.lag_mean_s:.1f}s",
                     f"{p.lag_p99_s:.1f}s",
+                    f"{p.lag_p99_trace_s:.1f}s"
+                    + ("" if p.trace_lags_match else "!"),
                     f"{p.lag_max_s:.1f}s",
                     p.crashes_fired,
                     p.respawns,
@@ -1581,6 +1625,8 @@ class ChaosSLOResult:
                     "reader_samples": p.reader_samples,
                     "reader_stale_peak": p.reader_stale_peak,
                     "reader_final_stale": p.reader_final_stale,
+                    "lag_p99_trace_s": p.lag_p99_trace_s,
+                    "trace_lags_match": p.trace_lags_match,
                 }
                 for p in self.points
             ],
@@ -1672,6 +1718,7 @@ def chaos_fleet_run(
         seed=seed,
     )
     kernel = SimKernel(account)
+    kernel.scrape_every(5.0)
     watch = FleetWatch()
 
     daemon_objs: List = []
@@ -1729,6 +1776,7 @@ def chaos_fleet_run(
                 interval_s=reader_interval_s,
                 queries=("q1", "q3"),
                 rng=_random.Random(reader_rng.randrange(1 << 30)),
+                label=f"reader-{index}",
             ),
             name=f"reader-{index}",
             daemon=True,
@@ -1757,6 +1805,19 @@ def chaos_fleet_run(
         for daemon in daemon_objs
         for record in daemon.commit_log
     ]
+    # Re-derive the same lags from record-lifecycle traces.  Both sides
+    # keep the *first* commit per transaction (SQS duplicate delivery can
+    # commit a txn twice; the trace's ``commit.done`` records the earliest
+    # time), so the comparison is per-txn minimum against per-txn span.
+    legacy_by_txn: Dict[str, float] = {}
+    for daemon in daemon_objs:
+        for record in daemon.commit_log:
+            lag = record.committed_at - record.logged_at
+            previous = legacy_by_txn.get(record.txn_id)
+            if previous is None or lag < previous:
+                legacy_by_txn[record.txn_id] = lag
+    trace_by_txn = dict(account.telemetry.tracer.commit_lags())
+    trace_lags_match = legacy_by_txn == trace_by_txn
     committed = sum(d.committed_count() for d in daemon_objs)
     last_commit = max(
         (record.committed_at for d in daemon_objs for record in d.commit_log),
@@ -1782,6 +1843,8 @@ def chaos_fleet_run(
         reader_samples=len(samples),
         reader_stale_peak=max((s.stale for s in q1_samples), default=0),
         reader_final_stale=q1_samples[-1].stale if q1_samples else 0,
+        lag_p99_trace_s=_percentile(list(trace_by_txn.values()), 0.99),
+        trace_lags_match=trace_lags_match,
     )
 
     # Fingerprint the settled store: raw Q1 rows plus the engine's
@@ -1808,6 +1871,7 @@ def chaos_fleet_run(
         point=point,
         answers=(repr(q1_rows), repr(q2), repr(q3), repr(q4)),
         query_billing=query_billing,
+        telemetry=account.telemetry.metrics.snapshot(),
     )
 
 
@@ -1835,6 +1899,7 @@ def chaos_slo_experiment(
     """
     points: List[ChaosSLOPoint] = []
     outcomes: Dict[Tuple[int, int, str], ChaosRunOutcome] = {}
+    telemetry: Dict[str, Dict[str, object]] = {}
     for clients in fleet_sizes:
         for daemons in daemon_counts:
             for schedule in schedules:
@@ -1847,6 +1912,9 @@ def chaos_slo_experiment(
                 )
                 outcomes[(clients, daemons, schedule)] = outcome
                 points.append(outcome.point)
+                telemetry[f"c{clients}-d{daemons}-{schedule}"] = (
+                    outcome.telemetry
+                )
 
     daemons_for_slo: Dict[Tuple[int, str], Optional[int]] = {}
     for clients in fleet_sizes:
@@ -1878,6 +1946,7 @@ def chaos_slo_experiment(
         slo_p99_s=slo_p99_s,
         daemons_for_slo=daemons_for_slo,
         recovery_identical=recovery_identical,
+        telemetry=telemetry,
     )
 
 

@@ -14,13 +14,17 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List, Mapping, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 #: Environment variable overriding where BENCH_*.json files land.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 #: Default output directory for machine-readable results (repo-relative).
 DEFAULT_BENCH_DIR = "bench-results"
+
+#: Version of the ``telemetry`` section embedded in BENCH_*.json files.
+#: Bump when the metric key format or snapshot shape changes.
+TELEMETRY_SCHEMA_VERSION = 1
 
 
 def render_table(
@@ -58,8 +62,19 @@ def render_series(
     return "\n".join(lines)
 
 
+def telemetry_section(metrics_snapshot: Mapping[str, object]) -> dict:
+    """Wrap a final registry snapshot in the versioned BENCH schema."""
+    return {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "metrics": dict(metrics_snapshot),
+    }
+
+
 def write_bench_json(
-    experiment: str, results: Mapping[str, object], directory: str = ""
+    experiment: str,
+    results: Mapping[str, object],
+    directory: str = "",
+    telemetry: Optional[Mapping[str, object]] = None,
 ) -> str:
     """Write one experiment's machine-readable results.
 
@@ -68,12 +83,18 @@ def write_bench_json(
     ``REPRO_BENCH_DIR`` environment variable, or ``bench-results/`` under
     the current working directory.  ``results`` must be JSON-serializable
     (``Aggregate.as_dict()`` helps); non-serializable leaves fall back to
-    ``str``.  Returns the written path.
+    ``str``.  ``telemetry`` is a final metrics-registry snapshot
+    (``account.telemetry.metrics.snapshot()``); when given, the payload
+    carries it under a versioned ``telemetry`` section so CI and the
+    future autoscaler read machine-readable per-run state instead of
+    hand-quoted numbers.  Returns the written path.
     """
     out_dir = directory or os.environ.get(BENCH_DIR_ENV, "") or DEFAULT_BENCH_DIR
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{experiment}.json")
     payload = {"experiment": experiment, "results": results}
+    if telemetry is not None:
+        payload["telemetry"] = telemetry_section(telemetry)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")

@@ -23,6 +23,7 @@ from repro.cloud.profiles import SimulationProfile
 from repro.cloud.s3 import S3Service
 from repro.cloud.simpledb import SimpleDBService
 from repro.cloud.sqs import SQSService
+from repro.obs import Telemetry
 
 
 class CloudAccount:
@@ -36,6 +37,10 @@ class CloudAccount:
         seed: master seed for propagation delays and SQS reordering;
             fixing it makes runs bit-for-bit reproducible.
         faults: crash-point plan (defaults to a fresh, unarmed plan).
+        telemetry: a :class:`~repro.obs.Telemetry` hub, or a bool to
+            construct one enabled/disabled.  Telemetry is observational
+            only — the suite pins that disabling it leaves answers and
+            billing byte-identical.
     """
 
     def __init__(
@@ -45,9 +50,11 @@ class CloudAccount:
         seed: int = 0,
         faults: Optional[FaultPlan] = None,
         prices: PriceBook = PriceBook(),
+        telemetry=None,
     ):
         self.profile = profile
         self.clock = VirtualClock()
+        self.telemetry = Telemetry.coerce(telemetry)
         self.scheduler = ParallelScheduler(self.clock, profile.environment)
         self.billing = BillingMeter(prices)
         self.faults = faults if faults is not None else FaultPlan()
@@ -74,13 +81,17 @@ class CloudAccount:
                 consistency,
                 PropagationSampler(sdb_profile.propagation_delay_mean_s, seed + 2),
             ),
+            telemetry=self.telemetry,
         )
         self.sqs = SQSService(
             self.scheduler,
             sqs_profile,
             self.billing,
             seed=seed + 3,
+            telemetry=self.telemetry,
         )
+
+        self.billing.bind_metrics(self.telemetry.metrics)
 
     def stopwatch(self) -> Stopwatch:
         """A stopwatch over the account's virtual clock."""

@@ -83,6 +83,15 @@ class BillingMeter:
 
     # -- reporting ---------------------------------------------------------
 
+    def bind_metrics(self, registry) -> None:
+        """Expose the running totals as callback gauges on a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the scraper then
+        turns spend into a time series without the meter changing."""
+        registry.gauge_fn("billing.operations", self.operation_count)
+        registry.gauge_fn("billing.bytes_tx", self.bytes_transmitted)
+        registry.gauge_fn("billing.bytes_rx", self.bytes_received)
+        registry.gauge_fn("billing.cost_usd", self.cost)
+
     def operation_count(self, service: str = "") -> int:
         """Total requests, optionally restricted to one service."""
         if service:

@@ -34,6 +34,13 @@ executable), and network-degradation windows that scale the
 environment's ``extra_latency_s`` and arm SQS duplicate delivery
 between two virtual times.  The schedule is declarative; the simulation
 kernel is the interpreter (see :mod:`repro.sim.kernel`).
+
+Every schedule action the kernel interprets is also *observable*: firing
+a crash, spawning a respawn, or opening/closing a degradation window
+emits a structured ``fault.*`` event (target, incarnation, clock time)
+into the account's telemetry event log — ``SimKernel.fault_events``
+lists them, and the timeline exporter renders them as instant markers on
+the Perfetto fault lane (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations

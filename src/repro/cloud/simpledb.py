@@ -54,6 +54,7 @@ from repro.cloud.billing import BillingMeter
 from repro.cloud.consistency import ConsistencyEngine, VersionedRegister
 from repro.cloud.network import ParallelScheduler, Request
 from repro.cloud.profiles import ServiceProfile
+from repro.obs.tracing import SDB_VISIBLE
 from repro.errors import (
     InvalidRequestError,
     LimitExceededError,
@@ -707,6 +708,7 @@ class SimpleDBService:
         billing: BillingMeter,
         consistency: Optional[ConsistencyEngine] = None,
         use_indexes: bool = True,
+        telemetry=None,
     ):
         self._scheduler = scheduler
         self._profile = profile
@@ -718,6 +720,15 @@ class SimpleDBService:
         #: either way, so the flag can be toggled mid-run.
         self.use_indexes = use_indexes
         self.select_stats = SelectEngineStats()
+        self._telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            stats = self.select_stats
+            metrics.gauge_fn("sdb.select.indexed", lambda: stats.indexed)
+            metrics.gauge_fn("sdb.select.scanned", lambda: stats.scanned)
+            metrics.gauge_fn(
+                "sdb.select.unconditional", lambda: stats.unconditional
+            )
         #: Snapshot id -> the chain's materialized match list; created at
         #: a chain's first page, dropped at its last — or expired by
         #: :meth:`_expire_snapshots` once untouched past the TTL.
@@ -1074,6 +1085,10 @@ class SimpleDBService:
         state.note_pairs(name, pairs)
         visible = self._consistency.visibility_for(committed_at)
         register.write(current, committed_at, visible)
+        if self._telemetry is not None:
+            # O(1) dict probe: only items pre-registered as trace aliases
+            # (P3 txn items) land a mark; bulk workloads pay nothing.
+            self._telemetry.tracer.mark_if_traced(name, SDB_VISIBLE, visible)
 
     def _match_rows(
         self,

@@ -81,6 +81,7 @@ class SQSService:
         billing: BillingMeter,
         seed: int = 0,
         duplicate_delivery_rate: float = 0.0,
+        telemetry=None,
     ):
         self._scheduler = scheduler
         self._profile = profile
@@ -88,6 +89,7 @@ class SQSService:
         self._rng = random.Random(seed)
         self._queues: Dict[str, _Queue] = {}
         self._ids = itertools.count(1)
+        self._telemetry = telemetry
         #: Probability a received message is delivered twice (fault knob).
         self.duplicate_delivery_rate = duplicate_delivery_rate
 
@@ -98,7 +100,14 @@ class SQSService:
     def create_queue(self, name: str) -> str:
         """Create a queue; returns its URL (idempotent)."""
         url = f"sqs://queues/{name}"
-        self._queues.setdefault(url, _Queue(url=url))
+        if url not in self._queues:
+            self._queues[url] = _Queue(url=url)
+            if self._telemetry is not None:
+                self._telemetry.metrics.gauge_fn(
+                    "sqs.queue_depth",
+                    lambda url=url: self.pending_count(url),
+                    queue=name,
+                )
         return url
 
     def _queue(self, url: str) -> _Queue:

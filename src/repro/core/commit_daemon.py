@@ -48,6 +48,7 @@ from repro.errors import (
     NoSuchKeyError,
     TransactionIncompleteError,
 )
+from repro.obs.tracing import COMMIT_DONE, DAEMON_DEQUEUE, SDB_PUT
 from repro.provenance.records import ProvenanceBundle
 from repro.sim.compat import run_plan_phased
 from repro.sim.events import Batch, Delay
@@ -128,6 +129,19 @@ class CommitDaemon:
         self._logged_at: Dict[str, float] = {}
         #: Timeline of every commit this daemon finished (commit lag).
         self.commit_log: List[CommitRecord] = []
+        # Telemetry: per-instance labels (a respawned daemon is a new
+        # instance) so pooled daemons sharing one queue don't clobber
+        # each other's series.
+        telemetry = account.telemetry
+        self._tracer = telemetry.tracer
+        label = f"commit-daemon-{telemetry.instance_id('commit-daemon')}"
+        metrics = telemetry.metrics
+        self._m_messages = metrics.counter("daemon.messages", daemon=label)
+        self._m_commits = metrics.counter("daemon.commits", daemon=label)
+        self._m_lag = metrics.histogram("daemon.commit_lag_s", daemon=label)
+        metrics.gauge_fn(
+            "daemon.pending_txns", lambda: len(self._pending), daemon=label
+        )
         #: max_messages -> the one ReceiveMessage request reused across
         #: polls (building it validates arguments and resolves the queue;
         #: executing it re-applies against live queue state each time).
@@ -224,6 +238,10 @@ class CommitDaemon:
 
     def _ingest(self, message: Message) -> None:
         parsed = parse_message(message.body)
+        self._m_messages.inc()
+        self._tracer.mark_if_traced(
+            parsed.txn_id, DAEMON_DEQUEUE, self.account.now
+        )
         txn = self._pending.setdefault(
             parsed.txn_id, _PendingTransaction(txn_id=parsed.txn_id)
         )
@@ -277,6 +295,7 @@ class CommitDaemon:
             yield Batch(spill_requests, self.connections)
         if batch_requests:
             yield Batch(batch_requests, self.connections)
+            self._tracer.mark_if_traced(txn_id, SDB_PUT, self.account.now)
         self.account.faults.crash_point("p3.mid_commit")
 
         # 3: COPY temp -> final, stamping the provenance link metadata.
@@ -318,13 +337,15 @@ class CommitDaemon:
 
         del self._pending[txn_id]
         self._committed_count += 1
-        self.commit_log.append(
-            CommitRecord(
-                txn_id=txn_id,
-                logged_at=self._logged_at.get(txn_id, 0.0),
-                committed_at=self.account.now,
-            )
+        record = CommitRecord(
+            txn_id=txn_id,
+            logged_at=self._logged_at.get(txn_id, 0.0),
+            committed_at=self.account.now,
         )
+        self.commit_log.append(record)
+        self._m_commits.inc()
+        self._m_lag.observe(record.lag)
+        self._tracer.mark_if_traced(txn_id, COMMIT_DONE, record.committed_at)
 
     @staticmethod
     def _bundles_from_records(records) -> List[ProvenanceBundle]:

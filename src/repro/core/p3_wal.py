@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
 from repro.cloud.network import Request
+from repro.obs.tracing import CLIENT_EMIT, WAL_LOGGED
+from repro.provenance.graph import NodeRef
 from repro.provenance.pass_collector import FlushIntent
 from repro.sim.events import Batch, Delay
 
@@ -71,6 +73,7 @@ class ProtocolP3(StorageProtocol):
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
+        self.client_id = client_id
         self.router = router if router is not None else DomainRouter(domain)
         #: Legacy single-domain name (first shard under a multi-shard
         #: router; iterate ``router.domains`` to see every item).
@@ -132,6 +135,25 @@ class ProtocolP3(StorageProtocol):
         send_requests = [
             self.account.sqs.send_request(self.queue_url, body) for body in messages
         ]
+
+        # Open the record-lifecycle trace for this transaction.  Item
+        # names (``uuid_version``) and record uuids alias onto it, so the
+        # commit daemon, SimpleDB visibility, and readers can land their
+        # marks knowing only what they already know.
+        tracer = self.account.telemetry.tracer
+        if tracer.enabled:
+            tracer.begin(
+                txn_id,
+                protocol=self.name,
+                client=self.client_id,
+                packets=len(send_requests),
+            )
+            tracer.mark(txn_id, CLIENT_EMIT, self.account.now)
+            for bundle in work.bundles:
+                tracer.alias(bundle.uuid, txn_id)
+                for version in bundle.by_version():
+                    tracer.alias(str(NodeRef(bundle.uuid, version)), txn_id)
+
         return _PreparedFlush(
             txn_id=txn_id,
             intents=intents,
@@ -143,11 +165,21 @@ class ProtocolP3(StorageProtocol):
     def flush(self, work: FlushWork) -> None:
         prepared = self._prepare_flush(work)
         self.charge_prov_cpu(len(prepared.send_requests))
+        tracer = self.account.telemetry.tracer
 
         if self.mode is UploadMode.PARALLEL:
             # Packets can go in parallel: order does not matter once
             # everything is in the WAL (§4.3.3).
-            self._dispatch(prepared.temp_puts + prepared.send_requests)
+            result = self._dispatch(prepared.temp_puts + prepared.send_requests)
+            if tracer.enabled and result is not None and prepared.send_requests:
+                # Log completion = the latest WAL packet's finish — the
+                # same instant SQS stamps as sent_at, so this mark and
+                # the daemon's ``logged_at`` agree exactly.
+                tracer.mark(
+                    prepared.txn_id,
+                    WAL_LOGGED,
+                    max(result.request_finish_times[len(prepared.temp_puts):]),
+                )
         else:
             self.account.scheduler.execute_batch(
                 prepared.temp_puts, self.connections
@@ -156,6 +188,9 @@ class ProtocolP3(StorageProtocol):
                 if index > 0:
                     self.account.faults.crash_point("p3.mid_log")
                 self.account.scheduler.execute_one(request)
+            if tracer.enabled and prepared.send_requests:
+                # execute_one advanced the clock to the last send's finish.
+                tracer.mark(prepared.txn_id, WAL_LOGGED, self.account.now)
         self.account.faults.crash_point("p3.after_log")
 
         # Once logged, the transaction is guaranteed to commit eventually.
@@ -170,20 +205,30 @@ class ProtocolP3(StorageProtocol):
         domain, and in causal mode each WAL packet is its own activation
         so crashes (timed or crash-point) can land mid-log."""
         prepared = self._prepare_flush(work)
+        tracer = self.account.telemetry.tracer
         cost = self.prov_cpu_cost(len(prepared.send_requests))
         if cost > 0:
             yield Delay(cost)
 
         if self.mode is UploadMode.PARALLEL:
-            yield Batch(
+            result = yield Batch(
                 prepared.temp_puts + prepared.send_requests, self.connections
             )
+            if tracer.enabled and prepared.send_requests:
+                tracer.mark(
+                    prepared.txn_id,
+                    WAL_LOGGED,
+                    max(result.request_finish_times[len(prepared.temp_puts):]),
+                )
         else:
             yield Batch(prepared.temp_puts, self.connections)
+            last = None
             for index, request in enumerate(prepared.send_requests):
                 if index > 0:
                     self.account.faults.crash_point("p3.mid_log")
-                yield Batch([request], connections=1)
+                last = yield Batch([request], connections=1)
+            if tracer.enabled and last is not None:
+                tracer.mark(prepared.txn_id, WAL_LOGGED, last.finished_at)
         self.account.faults.crash_point("p3.after_log")
 
         self._mark_provenance_stored(work.bundles)

@@ -204,14 +204,15 @@ class StorageProtocol(ABC):
         self._deferred = None
         return requests
 
-    def _dispatch(self, requests: List) -> None:
-        """Execute a request batch now, or stash it when deferred."""
+    def _dispatch(self, requests: List):
+        """Execute a request batch now, or stash it when deferred.
+        Returns the batch result, or ``None`` when deferred."""
         if not requests:
-            return
+            return None
         if self._deferred is not None:
             self._deferred.extend(requests)
-            return
-        self.account.scheduler.execute_batch(requests, self.connections)
+            return None
+        return self.account.scheduler.execute_batch(requests, self.connections)
 
     def prov_cpu_cost(self, request_count: int) -> float:
         """Serial client-side CPU seconds for preparing ``request_count``

@@ -1,0 +1,111 @@
+"""Unified telemetry for the simulated PASS cloud.
+
+One hub — :class:`Telemetry` — bundles the three observability
+surfaces, all driven purely by the virtual clock:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters,
+  gauges, and streaming histograms, sampled into deterministic time
+  series by a kernel scraper process;
+* :class:`~repro.obs.tracing.Tracer` — record-lifecycle traces that
+  follow each provenance batch from client emit to first read, so
+  commit lag and staleness are span queries, not bespoke bookkeeping;
+* :class:`~repro.obs.events.EventLog` — structured kernel events
+  (process wakeups, crashes, respawns, degradation windows) feeding
+  the JSONL log and the Chrome-trace timeline exporter
+  (:mod:`repro.obs.timeline`).
+
+A hub constructed with ``enabled=False`` swaps in no-op instruments
+behind the same API, so instrumented code never branches — and the
+test suite pins that telemetry on vs off leaves answers and billing
+byte-identical (observing must not perturb the simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+from repro.obs.tracing import (
+    CLIENT_EMIT,
+    COMMIT_DONE,
+    DAEMON_DEQUEUE,
+    GATEWAY_COALESCE,
+    READ_FIRST,
+    SDB_PUT,
+    SDB_VISIBLE,
+    STAGES,
+    WAL_LOGGED,
+    RecordTrace,
+    Tracer,
+)
+from repro.obs.timeline import (
+    chrome_trace,
+    chrome_trace_events,
+    chrome_trace_json,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "metric_key",
+    "Tracer",
+    "RecordTrace",
+    "Event",
+    "EventLog",
+    "chrome_trace",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "STAGES",
+    "CLIENT_EMIT",
+    "GATEWAY_COALESCE",
+    "WAL_LOGGED",
+    "DAEMON_DEQUEUE",
+    "SDB_PUT",
+    "COMMIT_DONE",
+    "SDB_VISIBLE",
+    "READ_FIRST",
+]
+
+
+class Telemetry:
+    """The per-account observability hub.
+
+    Construct once per :class:`~repro.cloud.account.CloudAccount` (the
+    account does this for you) and share everywhere.  Never a module
+    singleton: instance numbering lives on the hub so two accounts in
+    one process — or two runs of one experiment — can't bleed state
+    into each other, which would break same-seed determinism.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled)
+        self.events = EventLog(enabled=enabled)
+        self._instance_counts: Dict[str, int] = {}
+
+    def instance_id(self, kind: str) -> int:
+        """Dense per-kind instance numbers (``commit-daemon`` 0, 1, …)
+        for metric labels; deterministic because construction order is."""
+        n = self._instance_counts.get(kind, 0)
+        self._instance_counts[kind] = n + 1
+        return n
+
+    def scrape(self, now: float) -> None:
+        """Sample every metric into its time series at virtual ``now``."""
+        self.metrics.scrape(now)
+
+    @staticmethod
+    def coerce(value) -> "Telemetry":
+        """Accept a hub, ``True``/``False``, or ``None`` (→ enabled)."""
+        if isinstance(value, Telemetry):
+            return value
+        if value is None:
+            return Telemetry(enabled=True)
+        return Telemetry(enabled=bool(value))

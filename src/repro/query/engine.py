@@ -225,6 +225,21 @@ class SimpleDBQueryEngine:
         self.bucket = bucket
         self.parallel_connections = parallel_connections
         self.fanout = ShardFanoutStats()
+        # Telemetry: routing counters as callback gauges, labelled per
+        # engine instance (an experiment often builds several engines).
+        telemetry = account.telemetry
+        label = f"query-engine-{telemetry.instance_id('query-engine')}"
+        fanout = self.fanout
+        telemetry.metrics.gauge_fn(
+            "query.single_shard_chunks",
+            lambda: fanout.single_shard_chunks,
+            engine=label,
+        )
+        telemetry.metrics.gauge_fn(
+            "query.fanned_out_selects",
+            lambda: fanout.fanned_out_selects,
+            engine=label,
+        )
 
     # -- domain routing (overridden by the sharded engine) ---------------------
 

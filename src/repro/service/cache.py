@@ -58,6 +58,19 @@ class LRUCache:
         self._generation += 1
         self.stats.invalidations += 1
 
+    def bind_metrics(self, registry, **labels) -> None:
+        """Expose the hit/miss counters as callback gauges on a
+        :class:`~repro.obs.metrics.MetricsRegistry` (labelled per owner,
+        so several caches coexist)."""
+        stats = self.stats
+        registry.gauge_fn("cache.hits", lambda: stats.hits, **labels)
+        registry.gauge_fn("cache.misses", lambda: stats.misses, **labels)
+        registry.gauge_fn("cache.evictions", lambda: stats.evictions, **labels)
+        registry.gauge_fn(
+            "cache.invalidations", lambda: stats.invalidations, **labels
+        )
+        registry.gauge_fn("cache.size", lambda: len(self._entries), **labels)
+
     def _versioned(self, key: Hashable) -> Tuple[int, Hashable]:
         return (self._generation, key)
 

@@ -29,6 +29,8 @@ from typing import Generator, List, Optional, Set, Tuple
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.network import Request
+from repro.obs.tracing import CLIENT_EMIT, GATEWAY_COALESCE
+from repro.provenance.graph import NodeRef
 from repro.provenance.records import ProvenanceBundle, merge_bundles
 from repro.query.engine import query_engine_for
 from repro.sim.compat import run_plan_phased
@@ -90,6 +92,28 @@ class IngestGateway:
         self.connections = connections
         self.cache = cache if cache is not None else LRUCache()
         self.stats = GatewayStats()
+        # Telemetry: stats struct and cache feed the registry as callback
+        # gauges under this gateway's instance label.
+        telemetry = account.telemetry
+        self._tracer = telemetry.tracer
+        label = f"gateway-{telemetry.instance_id('gateway')}"
+        metrics = telemetry.metrics
+        stats = self.stats
+        metrics.gauge_fn("gateway.flushes", lambda: stats.flushes, gateway=label)
+        metrics.gauge_fn("gateway.windows", lambda: stats.windows, gateway=label)
+        metrics.gauge_fn(
+            "gateway.item_pairs", lambda: stats.item_pairs, gateway=label
+        )
+        metrics.gauge_fn(
+            "gateway.sdb_batches", lambda: stats.sdb_batches, gateway=label
+        )
+        metrics.gauge_fn(
+            "gateway.sdb_batches_saved",
+            lambda: stats.sdb_batches_saved,
+            gateway=label,
+        )
+        metrics.gauge_fn("gateway.pending", self.pending_count, gateway=label)
+        self.cache.bind_metrics(metrics, cache=label)
         account.s3.create_bucket(bucket)
         for domain in self.router.domains:
             account.simpledb.create_domain(domain)
@@ -105,6 +129,17 @@ class IngestGateway:
         self._pending.append((client_id, work))
         self.stats.flushes += 1
         self.stats.clients.add(client_id)
+        if self._tracer.enabled:
+            # Gateway-path lifecycle trace, keyed by the primary record's
+            # uuid (there is no WAL transaction on this path); item names
+            # alias onto it so SimpleDB visibility marks land.
+            key = work.primary.uuid
+            self._tracer.begin(key, client=client_id, path="gateway")
+            self._tracer.mark(key, CLIENT_EMIT, self.account.now)
+            for bundle in work.bundles:
+                self._tracer.alias(bundle.uuid, key)
+                for version in bundle.by_version():
+                    self._tracer.alias(str(NodeRef(bundle.uuid, version)), key)
 
     def pending_count(self) -> int:
         return len(self._pending)
@@ -130,8 +165,16 @@ class IngestGateway:
         cost = self._marshalling_cost(len(requests), item_pairs)
         if cost > 0:
             yield Delay(cost)
-        yield Batch(requests, self.connections)
+        result = yield Batch(requests, self.connections)
 
+        if self._tracer.enabled:
+            coalesced_at = (
+                result.finished_at if result is not None else self.account.now
+            )
+            for _client_id, work in window:
+                self._tracer.mark_if_traced(
+                    work.primary.uuid, GATEWAY_COALESCE, coalesced_at
+                )
         self.stats.item_pairs += item_pairs
         self.stats.sdb_batches += batch_count
         self.stats.data_puts += data_count

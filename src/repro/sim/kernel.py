@@ -73,13 +73,17 @@ class ProcessState(enum.Enum):
 class Process:
     """One generator-based process and its per-process time domain."""
 
-    def __init__(self, name: str, generator: Generator, daemon: bool):
+    def __init__(
+        self, name: str, generator: Generator, daemon: bool, incarnation: int = 0
+    ):
         self.name = name
         self.generator = generator
         #: Daemon processes (commit/cleaner daemons, gateways, monitors)
         #: do not keep the simulation alive: ``run()`` returns once every
         #: non-daemon process has finished.
         self.daemon = daemon
+        #: 0 for the first process under this name; respawns count up.
+        self.incarnation = incarnation
         self.state = ProcessState.READY
         self.domain = TimeDomain(name)
         #: Return value of the generator once DONE.
@@ -119,6 +123,11 @@ class SimKernel:
         #: scheduler.
         self.clock = account.clock
         self.scheduler = account.scheduler
+        #: The account's telemetry hub; the kernel feeds its event log
+        #: (process lifecycle, fault injections) and its scraper drives
+        #: the metrics time series.  Purely observational — disabled
+        #: telemetry leaves the schedule byte-identical.
+        self.telemetry = account.telemetry
         self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._processes: List[Process] = []
@@ -135,10 +144,12 @@ class SimKernel:
         """Register a process; its first activation is at ``at``
         (default: now).  Timed crashes armed against ``name`` are
         materialised as kernel events here."""
+        resolved = name if name is not None else f"proc-{len(self._processes)}"
         process = Process(
-            name=name if name is not None else f"proc-{len(self._processes)}",
+            name=resolved,
             generator=generator,
             daemon=daemon,
+            incarnation=sum(1 for p in self._processes if p.name == resolved),
         )
         start = self.clock.now if at is None else at
         if start < self.clock.now:
@@ -147,6 +158,13 @@ class SimKernel:
                 f"(at={start}, now={self.clock.now})"
             )
         self._processes.append(process)
+        self.telemetry.events.emit(
+            "proc.spawn",
+            start,
+            name=process.name,
+            incarnation=process.incarnation,
+            daemon=daemon,
+        )
         self._push(_Event(start, next(self._seq), process=process))
         self._schedule_timed_crashes(process.name)
         self._schedule_chaos()
@@ -195,7 +213,10 @@ class SimKernel:
         for process in list(self._processes):
             if process.name == crash.target and process.alive:
                 self._kill(
-                    process, ClientCrashError(f"recurring@{now:.3f}s"), now
+                    process,
+                    ClientCrashError(f"recurring@{now:.3f}s"),
+                    now,
+                    source="recurring",
                 )
         if not crash.exhausted():
             crash.next_at += crash.every_s
@@ -207,6 +228,15 @@ class SimKernel:
             self._push_recurring(crash)
 
     def _open_window(self, window: DegradationWindow, now: float) -> None:
+        self.telemetry.events.emit(
+            "fault.degrade.open",
+            now,
+            t1=window.t1,
+            t2=window.t2,
+            latency_scale=window.latency_scale,
+            add_latency_s=window.add_latency_s,
+            duplicate_delivery_rate=window.duplicate_delivery_rate,
+        )
         env = self.scheduler.environment
         window.saved_environment = env
         window.saved_duplicate_rate = self.account.sqs.duplicate_delivery_rate
@@ -229,6 +259,9 @@ class SimKernel:
         self.scheduler.set_environment(window.saved_environment)
         self.account.sqs.duplicate_delivery_rate = window.saved_duplicate_rate
         window.restored = True
+        self.telemetry.events.emit(
+            "fault.degrade.close", now, t1=window.t1, t2=window.t2
+        )
 
     def _maybe_respawn(self, process: Process, now: float) -> None:
         """Consult the schedule's respawn policy for a freshly dead
@@ -240,11 +273,19 @@ class SimKernel:
         policy.respawns += 1
         respawn_at = now + policy.delay_s
         policy.respawned_at.append(respawn_at)
-        self.spawn(
+        replacement = self.spawn(
             policy.factory(),
             name=process.name,
             at=respawn_at,
             daemon=process.daemon,
+        )
+        self.telemetry.events.emit(
+            "fault.respawn",
+            respawn_at,
+            target=process.name,
+            incarnation=replacement.incarnation,
+            died_at=now,
+            delay_s=policy.delay_s,
         )
 
     def every(
@@ -266,7 +307,21 @@ class SimKernel:
 
         return self.spawn(monitor(), name=name, at=at, daemon=True)
 
+    def scrape_every(self, interval: float, at: Optional[float] = None) -> Process:
+        """Spawn the metrics scraper: samples every registered metric into
+        the telemetry time series each ``interval`` virtual seconds."""
+        return self.every(
+            interval, self.telemetry.scrape, name="metrics-scraper", at=at
+        )
+
     # -- introspection --------------------------------------------------------
+
+    @property
+    def fault_events(self) -> List:
+        """Structured ``fault.*`` events (crash / respawn / degrade)
+        recorded so far — target, incarnation, and clock time for each
+        FaultSchedule action, in firing order."""
+        return self.telemetry.events.of_kind("fault.")
 
     @property
     def processes(self) -> List[Process]:
@@ -341,13 +396,32 @@ class SimKernel:
         # not be swept up by this same firing.
         for process in list(self._processes):
             if process.name == target and process.alive:
-                self._kill(process, ClientCrashError(f"timed@{now:.3f}s"), now)
+                self._kill(
+                    process,
+                    ClientCrashError(f"timed@{now:.3f}s"),
+                    now,
+                    source="timed",
+                )
 
-    def _kill(self, process: Process, crash: ClientCrashError, now: float) -> None:
+    def _kill(
+        self,
+        process: Process,
+        crash: ClientCrashError,
+        now: float,
+        source: str = "kill",
+    ) -> None:
         process.state = ProcessState.CRASHED
         process.crash = crash
         process.domain.finish(now)
         process.generator.close()
+        self.telemetry.events.emit(
+            "fault.crash",
+            now,
+            target=process.name,
+            incarnation=process.incarnation,
+            source=source,
+            reason=str(crash),
+        )
         self._maybe_respawn(process, now)
 
     # -- stepping one process --------------------------------------------------
@@ -366,11 +440,25 @@ class SimKernel:
             process.state = ProcessState.DONE
             process.result = stop.value
             process.domain.finish(now)
+            self.telemetry.events.emit(
+                "proc.done",
+                now,
+                name=process.name,
+                incarnation=process.incarnation,
+            )
             return
         except ClientCrashError as crash:
             process.state = ProcessState.CRASHED
             process.crash = crash
             process.domain.finish(now)
+            self.telemetry.events.emit(
+                "fault.crash",
+                now,
+                target=process.name,
+                incarnation=process.incarnation,
+                source="crash_point",
+                reason=str(crash),
+            )
             self._maybe_respawn(process, now)
             return
         self._interpret(process, effect, now)
@@ -399,6 +487,14 @@ class SimKernel:
             if effect.charge:
                 process.domain.charge_busy(result.makespan)
                 resume_at = result.finished_at
+                self.telemetry.events.emit(
+                    "proc.slice",
+                    resume_at,
+                    name=process.name,
+                    incarnation=process.incarnation,
+                    start=result.started_at,
+                    requests=len(effect.requests),
+                )
             else:
                 resume_at = now
             process._pending_value = result

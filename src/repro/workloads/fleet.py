@@ -25,6 +25,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Set
 from repro.cloud.account import CloudAccount
 from repro.cloud.blob import Blob
 from repro.cloud.simpledb import prepare_select
+from repro.obs.tracing import READ_FIRST
 from repro.provenance.graph import NodeRef
 from repro.provenance.pass_collector import FlushIntent
 from repro.provenance.records import ProvenanceBundle, ProvenanceRecord
@@ -417,6 +418,7 @@ def reader_process(
     queries: Sequence[str] = ("q1", "q3"),
     target_uuid: str = "",
     rng: Optional[random.Random] = None,
+    label: str = "reader",
 ) -> Generator:
     """A query-side kernel process: round-robin Q1-Q4 shapes against the
     provenance domains while clients are still writing them.
@@ -428,6 +430,13 @@ def reader_process(
     inter-query think time the way clients jitter theirs).
     """
     rng = rng if rng is not None else random.Random(0)
+    tracer = account.telemetry.tracer
+    staleness_gauge = account.telemetry.metrics.gauge(
+        "reader.staleness", reader=label
+    )
+    query_counter = account.telemetry.metrics.counter(
+        "reader.queries", reader=label
+    )
     while True:
         for kind in queries:
             started = account.now
@@ -442,10 +451,19 @@ def reader_process(
                     for name, _ in rows
                 }
                 visible = len(flushed_set & visible_uuids)
-                samples.append(ReaderSample(
+                sample = ReaderSample(
                     t=round(started, 6), query=kind, rows=len(rows),
                     flushed=len(flushed_set), visible=visible,
-                ))
+                )
+                samples.append(sample)
+                if tracer.enabled:
+                    # First observation of each traced uuid closes its
+                    # record lifecycle; staleness then falls out as the
+                    # wal.logged -> read.first span.
+                    observed_at = account.now
+                    for uuid in sorted(visible_uuids):
+                        tracer.mark_first(uuid, READ_FIRST, observed_at)
+                staleness_gauge.set(sample.stale)
             elif kind == "q2":
                 uuid = target_uuid or (sorted(watch.flushed)[0]
                                        if watch.flushed else "")
@@ -465,6 +483,7 @@ def reader_process(
                 ))
             else:
                 raise ValueError(f"unknown reader query {kind!r}")
+            query_counter.inc()
             yield Delay(interval_s * rng.uniform(0.5, 1.5))
 
 
