@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import bisect
 import re
+import sys
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -381,7 +382,15 @@ class _DomainState:
     pending removal.
     """
 
-    __slots__ = ("registry", "names", "by_attr", "sorted_values", "pending_unindex")
+    __slots__ = (
+        "registry",
+        "names",
+        "by_attr",
+        "sorted_values",
+        "pending_unindex",
+        "attr_postings",
+        "set_size_hist",
+    )
 
     def __init__(self) -> None:
         self.registry: Dict[str, VersionedRegister[ItemAttributes]] = {}
@@ -400,10 +409,33 @@ class _DomainState:
         #: (attribute, value, item name) -> virtual time at which the
         #: entry may be pruned (the deleting write's visibility time).
         self.pending_unindex: Dict[Tuple[str, str, str], float] = {}
+        #: attribute -> total index entries (sum of its value sets'
+        #: sizes), maintained incrementally — with the distinct-value
+        #: count this gives the mean set size the cost model estimates
+        #: range walks with, without touching the sets at plan time.
+        self.attr_postings: Dict[str, int] = {}
+        #: attribute -> log2-bucketed histogram of its value-set sizes
+        #: (bucket = ``size.bit_length()``: sizes 1, 2–3, 4–7, ...).
+        #: A skew diagnostic for :meth:`SimpleDBService.selectivity` —
+        #: a uniform attribute has one hot bucket, a Zipfian one a tail.
+        self.set_size_hist: Dict[str, Dict[int, int]] = {}
 
     def note_item(self, name: str) -> None:
         if name not in self.registry:
             bisect.insort(self.names, name)
+
+    def _note_set_resize(self, attribute: str, old: int, new: int) -> None:
+        hist = self.set_size_hist.setdefault(attribute, {})
+        if old:
+            bucket = old.bit_length()
+            remaining = hist.get(bucket, 0) - 1
+            if remaining > 0:
+                hist[bucket] = remaining
+            else:
+                hist.pop(bucket, None)
+        if new:
+            bucket = new.bit_length()
+            hist[bucket] = hist.get(bucket, 0) + 1
 
     def note_pairs(self, name: str, pairs: Sequence[Tuple[str, str]]) -> None:
         for attribute, value in pairs:
@@ -411,7 +443,14 @@ class _DomainState:
             if value not in values:
                 values[value] = set()
                 bisect.insort(self.sorted_values.setdefault(attribute, []), value)
-            values[value].add(name)
+            names = values[value]
+            if name not in names:
+                before = len(names)
+                names.add(name)
+                self.attr_postings[attribute] = (
+                    self.attr_postings.get(attribute, 0) + 1
+                )
+                self._note_set_resize(attribute, before, before + 1)
             # A re-put beats any queued removal: the pair is live again.
             self.pending_unindex.pop((attribute, value, name), None)
 
@@ -443,7 +482,13 @@ class _DomainState:
             names = values.get(value)
             if names is None:
                 continue
-            names.discard(name)
+            if name in names:
+                before = len(names)
+                names.discard(name)
+                self.attr_postings[attribute] = max(
+                    0, self.attr_postings.get(attribute, 0) - 1
+                )
+                self._note_set_resize(attribute, before, before - 1)
             if not names:
                 del values[value]
                 ordered = self.sorted_values.get(attribute, [])
@@ -637,6 +682,255 @@ def _plan_candidates(
 
 
 # --------------------------------------------------------------------------
+# Cost-based planning: selectivity estimates drive the index decision
+# --------------------------------------------------------------------------
+
+def _cost_scan_threshold(state: _DomainState) -> int:
+    """Estimated candidate count at which an index walk stops being
+    cheaper than the scan it replaces.  A candidate walk sorts the set
+    and re-verifies every survivor, so once the estimate approaches the
+    domain it buys nothing; the 64-name floor keeps small domains (and
+    every unit-test fixture) on the index path, where the walk is cheap
+    regardless."""
+    return max(64, len(state.names) // 2)
+
+
+def _estimate_candidates(
+    condition: _Condition, state: _DomainState
+) -> Optional[int]:
+    """Estimated candidate-walk size of a WHERE subtree, or ``None``
+    when no index applies to it.
+
+    Equality and ``IN`` read exact set sizes off the hash indexes.
+    Ranges are estimated without materializing: ``itemName()`` ranges
+    binary-search the sorted name order (exact); attribute ranges count
+    the distinct values in range and multiply by the attribute's mean
+    set size (``attr_postings / distinct``) — cheap, and close enough
+    to order AND sides and to price the bailout.  ``AND`` costs what
+    its cheapest indexable side costs (the others intersect or verify);
+    ``OR`` costs the sum and is only indexable when every side is.
+    """
+    if isinstance(condition, _BoolOp):
+        left = _estimate_candidates(condition.left, state)
+        right = _estimate_candidates(condition.right, state)
+        if condition.op == "and":
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return min(left, right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if not isinstance(condition, _Comparison):
+        return None
+    attribute = condition.attribute
+    if condition.op == "=":
+        if attribute == "itemName()":
+            return 1
+        return len(state.names_with(attribute, condition.values[0]))
+    if condition.op == "in":
+        if attribute == "itemName()":
+            return len(condition.values)
+        return sum(
+            len(state.names_with(attribute, value))
+            for value in condition.values
+        )
+    if condition.op == "like" and attribute == "itemName()":
+        prefix = condition.like_prefix()
+        if prefix is None:
+            return None
+        start = bisect.bisect_left(state.names, prefix)
+        stop = bisect.bisect_right(state.names, prefix + "\U0010ffff")
+        return max(0, stop - start)
+    if condition.op in _RANGE_BOUNDS:
+        low, high, incl_low, incl_high = _RANGE_BOUNDS[condition.op](
+            condition.values
+        )
+        if attribute == "itemName()":
+            start, stop = _DomainState._range_slice(
+                state.names, low, high, incl_low, incl_high
+            )
+            return stop - start
+        ordered = state.sorted_values.get(attribute)
+        if not ordered:
+            return 0
+        start, stop = _DomainState._range_slice(
+            ordered, low, high, incl_low, incl_high
+        )
+        in_range = stop - start
+        if in_range <= 0:
+            return 0
+        postings = state.attr_postings.get(attribute, 0)
+        mean = postings / len(ordered)
+        return max(in_range, int(in_range * mean))
+    return None
+
+
+def _flatten_and(condition: _Condition, out: List[_Condition]) -> None:
+    if isinstance(condition, _BoolOp) and condition.op == "and":
+        _flatten_and(condition.left, out)
+        _flatten_and(condition.right, out)
+    else:
+        out.append(condition)
+
+
+def _describe_condition(condition: _Condition) -> str:
+    if isinstance(condition, _BoolOp):
+        return (
+            f"({_describe_condition(condition.left)}) {condition.op} "
+            f"({_describe_condition(condition.right)})"
+        )
+    assert isinstance(condition, _Comparison)
+    return f"{condition.attribute} {condition.op} {condition.values}"
+
+
+@dataclass
+class _CostPlan:
+    """One chain's planning outcome: the candidate set (``None`` =
+    scan), the root estimate, and the explain payload."""
+
+    candidates: Optional[Set[str]]
+    estimate: Optional[int]
+    #: True when the tree was indexable but the estimate priced the
+    #: candidate walk at or above the scan threshold.
+    bailed_out: bool = False
+    #: AND conjuncts whose intersection was skipped as more expensive
+    #: than letting verification enforce them.
+    sides_skipped: int = 0
+    #: JSON-able node descriptions for ``explain()``.
+    nodes: List[Dict[str, object]] = field(default_factory=list)
+
+
+def _materialize_leaf(
+    condition: _Comparison, state: _DomainState, limit: int
+) -> Optional[Set[str]]:
+    """Materialize one comparison's candidate set (same index reads as
+    the fixed planner's leaves), bailing past ``limit`` names."""
+    if condition.op == "=":
+        if condition.attribute == "itemName()":
+            return {condition.values[0]}
+        return set(state.names_with(condition.attribute, condition.values[0]))
+    if condition.op == "in":
+        if condition.attribute == "itemName()":
+            return set(condition.values)
+        out: Set[str] = set()
+        for value in condition.values:
+            out |= state.names_with(condition.attribute, value)
+        return out
+    if condition.op == "like" and condition.attribute == "itemName()":
+        prefix = condition.like_prefix()
+        if prefix is None:
+            return None
+        return set(state.names_with_prefix(prefix))
+    if condition.op in _RANGE_BOUNDS:
+        low, high, incl_low, incl_high = _RANGE_BOUNDS[condition.op](
+            condition.values
+        )
+        if condition.attribute == "itemName()":
+            names = state.names_in_name_range(
+                low, high, incl_low, incl_high, limit=limit
+            )
+            return None if names is None else set(names)
+        return state.names_in_value_range(
+            condition.attribute, low, high, incl_low, incl_high, limit=limit
+        )
+    return None
+
+
+def _cost_materialize(
+    condition: _Condition, state: _DomainState, threshold: int, plan: _CostPlan
+) -> Optional[Set[str]]:
+    """Materialize a candidate set under the cost model.
+
+    ``AND`` nodes are flattened and walked cheapest-estimate-first: the
+    cheapest indexable conjunct seeds the set, and each further side is
+    intersected only while its estimated cost is proportionate to the
+    running set (``<= max(64, 2 * |current|)``) — a wide side costs more
+    to materialize than the rows it would remove, and verification
+    enforces it anyway.  ``OR`` unions both sides (both must be
+    indexable, as in the fixed planner).  Every set returned is a
+    superset of the true matches, so the decision only moves cost,
+    never answers."""
+    if isinstance(condition, _BoolOp) and condition.op == "and":
+        conjuncts: List[_Condition] = []
+        _flatten_and(condition, conjuncts)
+        sides = [
+            (_estimate_candidates(side, state), side) for side in conjuncts
+        ]
+        indexable = sorted(
+            ((est, index) for index, (est, _) in enumerate(sides)
+             if est is not None),
+            key=lambda pair: pair[0],
+        )
+        current: Optional[Set[str]] = None
+        for est, index in indexable:
+            side = sides[index][1]
+            if current is None:
+                current = _cost_materialize(side, state, threshold, plan)
+                continue
+            if est > max(64, 2 * len(current)):
+                plan.sides_skipped += 1
+                plan.nodes.append({
+                    "node": _describe_condition(side),
+                    "estimate": est,
+                    "action": "verify-only",
+                })
+                continue
+            candidates = _cost_materialize(side, state, threshold, plan)
+            if candidates is not None:
+                current &= candidates
+        return current
+    if isinstance(condition, _BoolOp):
+        left = _cost_materialize(condition.left, state, threshold, plan)
+        if left is None:
+            return None
+        right = _cost_materialize(condition.right, state, threshold, plan)
+        if right is None:
+            return None
+        return left | right
+    assert isinstance(condition, _Comparison)
+    candidates = _materialize_leaf(condition, state, threshold)
+    plan.nodes.append({
+        "node": _describe_condition(condition),
+        "estimate": _estimate_candidates(condition, state),
+        "action": "scan" if candidates is None else "index",
+        "candidates": None if candidates is None else len(candidates),
+    })
+    return candidates
+
+
+def _plan_candidates_cost(
+    condition: _Condition, state: _DomainState
+) -> _CostPlan:
+    """The cost-based planner: estimate first, then decide.
+
+    An unindexable tree scans, as before.  An indexable tree whose root
+    estimate reaches :func:`_cost_scan_threshold` *also* scans — this is
+    the estimated-cost decision that replaces the fixed quarter-domain
+    range bailout (:func:`_range_plan_limit`, kept for the ``"fixed"``
+    planner mode): the same half-open range is indexed in a domain
+    where it is selective and scanned in one where it is not, instead
+    of cutting over at a hard-coded fraction either way."""
+    threshold = _cost_scan_threshold(state)
+    estimate = _estimate_candidates(condition, state)
+    if estimate is None:
+        return _CostPlan(candidates=None, estimate=None)
+    if estimate >= threshold:
+        return _CostPlan(candidates=None, estimate=estimate, bailed_out=True)
+    plan = _CostPlan(candidates=None, estimate=estimate)
+    plan.candidates = _cost_materialize(condition, state, threshold, plan)
+    if plan.candidates is not None and len(plan.candidates) >= max(
+        threshold, 1
+    ):
+        # The estimate undershot (skewed value sets): the materialized
+        # walk is scan-sized after all, so scan — cheaper and identical.
+        plan.candidates = None
+        plan.bailed_out = True
+    return plan
+
+
+# --------------------------------------------------------------------------
 # The service
 # --------------------------------------------------------------------------
 
@@ -679,9 +973,40 @@ class SelectEngineStats:
     chains_by_domain: Dict[str, int] = field(default_factory=dict)
     #: Index entries removed after a DeleteAttributes fully propagated.
     unindexed_pruned: int = 0
+    #: Chains the cost model sent to scan because the estimated
+    #: candidate walk priced at or above the scan threshold (the
+    #: decision that replaced the fixed quarter-domain bailout).
+    cost_bailouts: int = 0
+    #: AND conjuncts the cost model left to verification instead of
+    #: intersecting (their estimate outweighed the running set).
+    and_sides_skipped: int = 0
 
     def note_chain(self, domain: str) -> None:
         self.chains_by_domain[domain] = self.chains_by_domain.get(domain, 0) + 1
+
+
+@dataclass(frozen=True)
+class AttributeSelectivity:
+    """One attribute's selectivity statistics, as the planner sees them.
+
+    Maintained incrementally at write time (``note_pairs``) and on
+    delete-driven pruning — reading them is O(1), which is what lets
+    the cost model consult them on every select chain."""
+
+    attribute: str
+    #: Distinct indexed values.
+    distinct_values: int
+    #: Total index entries (sum of the value sets' sizes).
+    postings: int
+    #: log2-bucketed histogram of value-set sizes: bucket ``b`` counts
+    #: values held by ``2**(b-1) .. 2**b - 1`` items.
+    set_size_histogram: Dict[int, int]
+
+    @property
+    def mean_set_size(self) -> float:
+        if not self.distinct_values:
+            return 0.0
+        return self.postings / self.distinct_values
 
 
 def _pairs_size(pairs: Sequence[Tuple[str, str]]) -> int:
@@ -719,6 +1044,13 @@ class SimpleDBService:
         #: scans — the regression baseline.  Indexes are maintained
         #: either way, so the flag can be toggled mid-run.
         self.use_indexes = use_indexes
+        #: Which planner decides the index-vs-scan cut: ``"cost"`` (the
+        #: default) estimates each tree's candidate walk from the
+        #: selectivity statistics; ``"fixed"`` is the legacy heuristic
+        #: planner with its quarter-domain range bailout.  Candidate
+        #: sets are supersets under either, so the mode can be toggled
+        #: mid-run without changing any answer.
+        self.planner = "cost"
         self.select_stats = SelectEngineStats()
         self._telemetry = telemetry
         if telemetry is not None:
@@ -728,6 +1060,16 @@ class SimpleDBService:
             metrics.gauge_fn("sdb.select.scanned", lambda: stats.scanned)
             metrics.gauge_fn(
                 "sdb.select.unconditional", lambda: stats.unconditional
+            )
+            metrics.gauge_fn(
+                "sdb.select.cost_bailouts", lambda: stats.cost_bailouts
+            )
+            metrics.gauge_fn(
+                "sdb.select.and_sides_skipped",
+                lambda: stats.and_sides_skipped,
+            )
+            metrics.gauge_fn(
+                "sdb.index.memory_bytes", self.index_memory_bytes
             )
         #: Snapshot id -> the chain's materialized match list; created at
         #: a chain's first page, dropped at its last — or expired by
@@ -1063,6 +1405,16 @@ class SimpleDBService:
         replace: bool,
         committed_at: float,
     ) -> None:
+        # Intern attribute names and values: provenance traffic repeats
+        # the same small vocabulary (type/name/input/...) across millions
+        # of items, and the registry, hash indexes, and sorted-value
+        # lists all hold references to the same pair strings — one
+        # canonical object per distinct string instead of one copy per
+        # write (``index_memory_bytes`` gauges the footprint).
+        pairs = [
+            (sys.intern(attribute), sys.intern(value))
+            for attribute, value in pairs
+        ]
         state.note_item(name)
         register = state.registry.setdefault(name, VersionedRegister())
         latest = register.read_latest_committed(committed_at)
@@ -1116,7 +1468,19 @@ class SimpleDBService:
             if count_stats:
                 self.select_stats.unconditional += 1
         elif self.use_indexes:
-            candidates = _plan_candidates(condition, state)
+            if self.planner == "fixed":
+                candidates = _plan_candidates(condition, state)
+            elif self.planner == "cost":
+                plan = _plan_candidates_cost(condition, state)
+                candidates = plan.candidates
+                if count_stats:
+                    self.select_stats.and_sides_skipped += plan.sides_skipped
+                    if plan.bailed_out:
+                        self.select_stats.cost_bailouts += 1
+            else:
+                raise InvalidRequestError(
+                    f"unknown planner {self.planner!r} (use 'cost' or 'fixed')"
+                )
             if count_stats:
                 if candidates is None:
                     self.select_stats.scanned += 1
@@ -1220,6 +1584,95 @@ class SimpleDBService:
         if version is None or version.deleted or version.value is None:
             return {}
         return version.value
+
+    # -- planner diagnostics -----------------------------------------------------
+
+    def explain(
+        self, expression: Union[str, PreparedSelect]
+    ) -> Dict[str, object]:
+        """Dry-run the planner on a select expression and dump the plan.
+
+        Returns a JSON-able dict: the decision (``index`` / ``scan`` /
+        ``unconditional-scan``), the root selectivity estimate, the
+        scan threshold it was priced against, and — for the cost
+        planner — one node per comparison with its estimate and chosen
+        action (``index``, ``scan``, or ``verify-only`` for AND sides
+        left to verification).  Purely diagnostic: no stats counters
+        move, no snapshot is created, nothing is billed."""
+        prepared = (
+            expression
+            if isinstance(expression, PreparedSelect)
+            else prepare_select(expression)
+        )
+        state = self._domain(prepared.domain)
+        condition = prepared.condition
+        out: Dict[str, object] = {
+            "domain": prepared.domain,
+            "planner": self.planner if self.use_indexes else "scan",
+            "domain_items": len(state.names),
+            "scan_threshold": _cost_scan_threshold(state),
+        }
+        if condition is None:
+            out["decision"] = "unconditional-scan"
+            return out
+        if not self.use_indexes:
+            out["decision"] = "scan"
+            return out
+        if self.planner == "fixed":
+            candidates = _plan_candidates(condition, state)
+            out["decision"] = "scan" if candidates is None else "index"
+            out["candidates"] = (
+                None if candidates is None else len(candidates)
+            )
+            return out
+        plan = _plan_candidates_cost(condition, state)
+        out["decision"] = "scan" if plan.candidates is None else "index"
+        out["estimated_candidates"] = plan.estimate
+        out["candidates"] = (
+            None if plan.candidates is None else len(plan.candidates)
+        )
+        out["cost_bailout"] = plan.bailed_out
+        out["and_sides_skipped"] = plan.sides_skipped
+        out["nodes"] = plan.nodes
+        return out
+
+    def selectivity(self, domain: str, attribute: str) -> AttributeSelectivity:
+        """The write-time selectivity statistics of one attribute —
+        exactly what the cost model consults (O(1) reads)."""
+        state = self._domains.get(domain)
+        if state is None:
+            return AttributeSelectivity(attribute, 0, 0, {})
+        return AttributeSelectivity(
+            attribute=attribute,
+            distinct_values=len(state.by_attr.get(attribute, {})),
+            postings=state.attr_postings.get(attribute, 0),
+            set_size_histogram=dict(state.set_size_hist.get(attribute, {})),
+        )
+
+    def index_memory_bytes(self) -> int:
+        """Approximate heap footprint of the secondary indexes across
+        all domains (container overhead plus one count of each distinct
+        string — interning makes the index share string objects with
+        the registry).  Feeds the ``sdb.index.memory_bytes`` gauge, so
+        benchmarks can chart bytes-per-item beside wall clock."""
+        total = 0
+        for state in self._domains.values():
+            total += sys.getsizeof(state.names)
+            total += sum(sys.getsizeof(name) for name in state.names)
+            total += sys.getsizeof(state.by_attr)
+            for attribute, values in state.by_attr.items():
+                total += sys.getsizeof(attribute) + sys.getsizeof(values)
+                for value, names in values.items():
+                    total += sys.getsizeof(value) + sys.getsizeof(names)
+            total += sys.getsizeof(state.sorted_values)
+            total += sum(
+                sys.getsizeof(ordered)
+                for ordered in state.sorted_values.values()
+            )
+            total += sys.getsizeof(state.pending_unindex)
+            total += sys.getsizeof(state.attr_postings)
+            total += sys.getsizeof(state.set_size_hist)
+        return total
 
     # -- omniscient inspection (tests & property checkers only) -----------------
 

@@ -70,6 +70,16 @@ class DomainRouter:
             grouped.setdefault(self.domain_for(bundle.uuid), []).append(bundle)
         return list(grouped.items())
 
+    def note_indexed_items(
+        self, domain: str, items: List[Tuple[str, List[Tuple[str, str]]]]
+    ) -> None:
+        """Write-path hook: the built SimpleDB items about to be put to
+        ``domain``.  ``build_routed_requests`` calls this for every
+        routed write (gateway, P2 flush, commit daemon), so a router
+        that maintains per-shard routing state — the ShardRouter's
+        Bloom filters — sees every item regardless of which tier wrote
+        it.  The base router keeps no such state: no-op."""
+
 
 class UploadMode(enum.Enum):
     """How a flush's requests are issued."""

@@ -34,12 +34,12 @@ from repro.core.protocol_base import data_key, provenance_object_key
 from repro.core.sdb_items import OVERFLOW_ATTRIBUTE, is_spill_pointer, spill_pointer_key
 from repro.query.ancestry import ProvenanceIndex
 
-#: Chunk size for ``IN (...)`` value lists in SimpleDB selects (shared
-#: with the fleet's query-side readers so their Q3/Q4-shaped traffic
-#: matches the engine's request profile).
+#: Default chunk size for ``IN (...)`` value lists in SimpleDB selects
+#: (shared with the fleet's query-side readers so their Q3/Q4-shaped
+#: traffic matches the engine's request profile).  Per-engine override:
+#: the ``in_chunk`` constructor argument, so benchmarks can sweep the
+#: chunking without touching module state.
 IN_CHUNK = 20
-
-_IN_CHUNK = IN_CHUNK  # internal alias
 
 
 @dataclass
@@ -72,6 +72,12 @@ class ShardFanoutStats:
     fanned_out_selects: int = 0
     #: Select chains this engine started, per domain.
     selects_by_domain: Dict[str, int] = field(default_factory=dict)
+    #: chunk x domain selects *not* issued because the shard's Bloom
+    #: filter proved the shard cannot match (the fan-out win).
+    bloom_skipped_selects: int = 0
+    #: itemName-rooted chunks dropped whole: no name in the chunk can
+    #: exist in its owning shard.
+    bloom_skipped_chunks: int = 0
 
     def note_select(self, domain: str) -> None:
         self.selects_by_domain[domain] = (
@@ -219,11 +225,17 @@ class SimpleDBQueryEngine:
         domain: str = "pass-prov",
         bucket: str = "pass-data",
         parallel_connections: int = 8,
+        in_chunk: int = IN_CHUNK,
     ):
+        if in_chunk < 1:
+            raise ValueError("in_chunk must be >= 1")
         self.account = account
         self.domain = domain
         self.bucket = bucket
         self.parallel_connections = parallel_connections
+        #: Values per ``IN (...)`` chunk — tunable per engine so the
+        #: planner-fanout bench can sweep it.
+        self.in_chunk = in_chunk
         self.fanout = ShardFanoutStats()
         # Telemetry: routing counters as callback gauges, labelled per
         # engine instance (an experiment often builds several engines).
@@ -238,6 +250,11 @@ class SimpleDBQueryEngine:
         telemetry.metrics.gauge_fn(
             "query.fanned_out_selects",
             lambda: fanout.fanned_out_selects,
+            engine=label,
+        )
+        telemetry.metrics.gauge_fn(
+            "query.bloom_skipped_selects",
+            lambda: fanout.bloom_skipped_selects,
             engine=label,
         )
 
@@ -259,6 +276,18 @@ class SimpleDBQueryEngine:
         sharded engine routes each name to its owning shard via the
         router's uuid hash."""
         return [(self.domain, list(names))]
+
+    def _domains_for_values(
+        self, attribute: str, values: Sequence[str]
+    ) -> Sequence[str]:
+        """Domains that might hold an item with ``attribute`` equal to
+        any of ``values``.  The base engine has one domain and no way
+        to rule it out; the sharded engine consults the router's
+        per-shard Bloom filters and skips shards that provably cannot
+        match (counting the skips in ``fanout.bloom_skipped_selects``).
+        """
+        del attribute, values
+        return self._domains()
 
     # -- internals ------------------------------------------------------------
 
@@ -363,8 +392,8 @@ class SimpleDBQueryEngine:
         exactly the owning shard instead of fanning out."""
         selects: List[PreparedSelect] = []
         for domain, group in self._domains_for_names(names):
-            for start in range(0, len(group), _IN_CHUNK):
-                chunk = group[start : start + _IN_CHUNK]
+            for start in range(0, len(group), self.in_chunk):
+                chunk = group[start : start + self.in_chunk]
                 selects.append(
                     prepare_select(
                         "select * from {} where itemName() in ({})".format(
@@ -377,7 +406,7 @@ class SimpleDBQueryEngine:
 
     def _select_procs_named(self, program: str) -> List[NodeRef]:
         refs: List[NodeRef] = []
-        for domain in self._domains():
+        for domain in self._domains_for_values("name", (program,)):
             rows = self._paged_rows(prepare_select(
                 f"select * from {domain} where name = '{program}' and type = 'proc'"
             ))
@@ -391,22 +420,25 @@ class SimpleDBQueryEngine:
         issued as chunked ``IN`` selects (parallelizable — each chunk is
         independent, unlike Q1's next-token chain).  With a sharded
         router the referencing items may live in any domain, so each
-        chunk fans out to every shard.  Each chunk's expression is
-        prepared once and reused for its whole continuation chain."""
+        chunk fans out — to every shard whose Bloom filter admits one of
+        the chunk's values (``_domains_for_values``; the base engine and
+        a bloom-disabled sharded engine fan to all).  Each chunk's
+        expression is prepared once and reused for its whole
+        continuation chain."""
         chunks = [
-            list(targets[i : i + _IN_CHUNK])
-            for i in range(0, len(targets), _IN_CHUNK)
+            [str(ref) for ref in targets[i : i + self.in_chunk]]
+            for i in range(0, len(targets), self.in_chunk)
         ]
         selects = [
             prepare_select(
                 "select * from {} where {} in ({})".format(
                     domain,
                     attribute,
-                    ", ".join(f"'{ref}'" for ref in chunk),
+                    ", ".join(f"'{value}'" for value in chunk),
                 )
             )
-            for domain in self._domains()
             for chunk in chunks
+            for domain in self._domains_for_values(attribute, chunk)
         ]
         self.fanout.fanned_out_selects += len(selects)
         return self._run_select_chains(selects, parallel)
@@ -530,6 +562,17 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
     (``fanout.single_shard_chunks`` vs ``fanout.fanned_out_selects``).
     Answers are byte-identical to the single-domain engine over the same
     store: routing moves items between domains but never changes them.
+
+    With ``bloom_routing`` (the default) attribute-rooted lookups are
+    pruned through the router's per-shard Bloom filters: a chunk is only
+    sent to shards whose filter admits at least one of its values, and
+    itemName-rooted chunks are dropped whole when no name in them can
+    exist.  Sound when ingest went through the routed write pipeline
+    (every production path); a filter false positive costs one select
+    chain that returns no rows — never a wrong answer, because every
+    issued select still verifies its rows.  Pass ``bloom_routing=False``
+    for the full-fan-out baseline (also the safe mode for stores
+    populated behind the router's back).
     """
 
     def __init__(
@@ -538,14 +581,23 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
         router,
         bucket: str = "pass-data",
         parallel_connections: int = 8,
+        in_chunk: int = IN_CHUNK,
+        bloom_routing: bool = True,
     ):
         super().__init__(
             account,
             domain=router.domains[0],
             bucket=bucket,
             parallel_connections=parallel_connections,
+            in_chunk=in_chunk,
         )
         self.router = router
+        self.bloom_routing = bloom_routing
+
+    def _bloom(self):
+        if not self.bloom_routing:
+            return None
+        return getattr(self.router, "bloom", None)
 
     def _domains(self) -> Sequence[str]:
         return self.router.domains
@@ -558,12 +610,43 @@ class ShardedSimpleDBQueryEngine(SimpleDBQueryEngine):
     ) -> List[Tuple[str, List[str]]]:
         """Route each ``uuid_version`` item name to its owning shard via
         the router's stable uuid hash — the index-aware fan-out: a chunk
-        of names never needs to visit a shard that cannot hold them."""
+        of names never needs to visit a shard that cannot hold them.
+        With Bloom routing a whole group is dropped when the owning
+        shard's filter rules out every name in it (a version-range probe
+        past an object's last version costs nothing at all)."""
         grouped: Dict[str, List[str]] = {}
         for name in names:
             uuid = name.rpartition("_")[0] or name
             grouped.setdefault(self.router.domain_for(uuid), []).append(name)
-        return list(grouped.items())
+        bloom = self._bloom()
+        if bloom is None:
+            return list(grouped.items())
+        kept: List[Tuple[str, List[str]]] = []
+        for domain, group in grouped.items():
+            if bloom.might_contain_any_name(domain, group):
+                kept.append((domain, group))
+            else:
+                self.fanout.bloom_skipped_chunks += 1
+        return kept
+
+    def _domains_for_values(
+        self, attribute: str, values: Sequence[str]
+    ) -> Sequence[str]:
+        """Every shard whose Bloom filter admits at least one of the
+        values — the attribute-rooted pruning that shrinks Q3/Q4's
+        chunk x domain fan-out."""
+        bloom = self._bloom()
+        if bloom is None:
+            return self._domains()
+        kept = [
+            domain
+            for domain in self.router.domains
+            if bloom.might_contain_any_value(domain, attribute, values)
+        ]
+        self.fanout.bloom_skipped_selects += len(self.router.domains) - len(
+            kept
+        )
+        return kept
 
     def q1_all_provenance(
         self, parallel: bool = False

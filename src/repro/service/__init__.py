@@ -21,15 +21,18 @@ The client-fleet simulator that drives this tier lives in
 :mod:`repro.bench.experiments` (``multitenant_scaling``).
 """
 
+from repro.service.bloom import BloomFilter, ShardBloomIndex
 from repro.service.cache import CachedQueryEngine, CacheStats, LRUCache
 from repro.service.gateway import GatewayStats, IngestGateway
 from repro.service.sharding import ShardRouter
 
 __all__ = [
+    "BloomFilter",
     "CacheStats",
     "CachedQueryEngine",
     "GatewayStats",
     "IngestGateway",
     "LRUCache",
+    "ShardBloomIndex",
     "ShardRouter",
 ]

@@ -17,15 +17,31 @@ single legacy domain name, byte-identical request streams.
 from __future__ import annotations
 
 import zlib
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.core.protocol_base import PROVENANCE_DOMAIN, DomainRouter
+from repro.service.bloom import DEFAULT_HASHES, DEFAULT_SIZE_BITS, ShardBloomIndex
 
 
 class ShardRouter(DomainRouter):
-    """Spreads provenance items over N SimpleDB domains by uuid hash."""
+    """Spreads provenance items over N SimpleDB domains by uuid hash.
 
-    def __init__(self, base_domain: str = PROVENANCE_DOMAIN, shards: int = 1):
+    Beside the uuid→domain mapping the router maintains a per-shard
+    :class:`~repro.service.bloom.ShardBloomIndex` over every item name
+    and attribute-value pair written through the routed pipeline
+    (:meth:`note_indexed_items`, called by ``build_routed_requests``).
+    The sharded query engine consults it to skip shards that provably
+    cannot match an attribute-rooted lookup — sound as long as every
+    write to the shard domains goes through the router, which is every
+    production write path (gateway, P2 flush, commit daemon)."""
+
+    def __init__(
+        self,
+        base_domain: str = PROVENANCE_DOMAIN,
+        shards: int = 1,
+        bloom_size_bits: int = DEFAULT_SIZE_BITS,
+        bloom_hashes: int = DEFAULT_HASHES,
+    ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         super().__init__(base_domain)
@@ -39,6 +55,14 @@ class ShardRouter(DomainRouter):
             self._shard_domains = tuple(
                 f"{base_domain}-{index}" for index in range(shards)
             )
+        self.bloom = ShardBloomIndex(
+            self._shard_domains, size_bits=bloom_size_bits, hashes=bloom_hashes
+        )
+
+    def note_indexed_items(
+        self, domain: str, items: List[Tuple[str, List[Tuple[str, str]]]]
+    ) -> None:
+        self.bloom.note_items(domain, items)
 
     @property
     def domains(self) -> Tuple[str, ...]:

@@ -5,8 +5,11 @@ condition trees, so every failure replays bit-for-bit from its seed.
 Each tree mixes every shape the grammar allows (``=``, ``!=``, ``IN``,
 ``LIKE``, the ordered comparisons, ``BETWEEN``, AND/OR with parens; the
 grammar has no NOT — ``!=`` is its negation form) over a seeded
-provenance-shaped store, and the indexed planner must return rows, row
-order, and billing byte-identical to the ``use_indexes=False`` scan.
+provenance-shaped store, and every planner must agree: the cost-based
+planner, the legacy fixed-bailout planner, and the ``use_indexes=False``
+scan must return rows, row order, and billing byte-identical on every
+tree, in every battery (strict, mid-propagation eventual consistency,
+and with deletes interleaved).
 """
 
 import random
@@ -122,14 +125,19 @@ def _run_battery(account, seed, settle_between=0.0):
         if settle_between and index % 20 == 0:
             account.settle(settle_between)
         sdb.use_indexes = True
+        sdb.planner = "cost"
         before = (sdb.select_stats.indexed, sdb.select_stats.scanned)
-        indexed = _fingerprint(account, sdb, expression)
+        cost = _fingerprint(account, sdb, expression)
         indexed_chains += sdb.select_stats.indexed - before[0]
         scanned_chains += sdb.select_stats.scanned - before[1]
+        sdb.planner = "fixed"
+        fixed = _fingerprint(account, sdb, expression)
         sdb.use_indexes = False
         scanned = _fingerprint(account, sdb, expression)
         sdb.use_indexes = True
-        assert indexed == scanned, f"seed={seed} tree #{index}: {expression}"
+        sdb.planner = "cost"
+        assert cost == scanned, f"seed={seed} tree #{index}: {expression}"
+        assert fixed == scanned, f"seed={seed} tree #{index}: {expression}"
     return indexed_chains, scanned_chains
 
 
@@ -174,11 +182,16 @@ def test_fuzz_trees_under_eventual_consistency():
         if index % 20 == 0:
             account.settle(1.5)
         sdb.use_indexes = True
-        indexed = repr(_select_frozen(account, sdb, expression))
+        sdb.planner = "cost"
+        cost = repr(_select_frozen(account, sdb, expression))
+        sdb.planner = "fixed"
+        fixed = repr(_select_frozen(account, sdb, expression))
         sdb.use_indexes = False
         scanned = repr(_select_frozen(account, sdb, expression))
         sdb.use_indexes = True
-        assert indexed == scanned, f"tree #{index}: {expression}"
+        sdb.planner = "cost"
+        assert cost == scanned, f"tree #{index}: {expression}"
+        assert fixed == scanned, f"tree #{index}: {expression}"
 
 
 def test_fuzz_trees_second_seed_with_deletes():
@@ -199,8 +212,13 @@ def test_fuzz_trees_second_seed_with_deletes():
             )
             sdb.delete_attributes("d", victim, spec)
         sdb.use_indexes = True
-        indexed = _fingerprint(account, sdb, expression)
+        sdb.planner = "cost"
+        cost = _fingerprint(account, sdb, expression)
+        sdb.planner = "fixed"
+        fixed = _fingerprint(account, sdb, expression)
         sdb.use_indexes = False
         scanned = _fingerprint(account, sdb, expression)
         sdb.use_indexes = True
-        assert indexed == scanned, f"tree #{index}: {expression}"
+        sdb.planner = "cost"
+        assert cost == scanned, f"tree #{index}: {expression}"
+        assert fixed == scanned, f"tree #{index}: {expression}"

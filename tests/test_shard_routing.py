@@ -4,9 +4,12 @@ The routing contract on the multitenant fixture: a chunked
 ``itemName() IN (...)`` select's names all hash to a known shard, so
 the sharded engine contacts exactly that shard (asserted through the
 service's per-domain chain counters, not just the engine's own stats);
-attribute-rooted lookups cannot be routed and still fan out to every
-shard; and routing never changes answers — the routed engine returns
-byte-identical results to a naive fan-to-every-shard engine.
+attribute-rooted lookups fan out — to every shard without Bloom
+routing, and to every shard whose ingest-maintained Bloom filter
+admits the probed values with it (a probe for values no shard ever
+ingested issues zero selects); and routing never changes answers — the
+routed engine returns byte-identical results to a naive
+fan-to-every-shard engine, Bloom pruning included.
 """
 
 from typing import Dict, List, Sequence, Tuple
@@ -63,14 +66,54 @@ def test_itemname_rooted_chunks_hit_exactly_one_shard():
 
 def test_non_rooted_queries_still_fan_out():
     account, router = _fixture()
-    engine = ShardedSimpleDBQueryEngine(account, router)
+    engine = ShardedSimpleDBQueryEngine(account, router, bloom_routing=False)
     before = dict(account.simpledb.select_stats.chains_by_domain)
     q3, _ = engine.q3_direct_outputs(FLEET_PROGRAM)
     assert q3
     delta = _chains_delta(account, before)
-    # The proc lookup and the reference lookup both visit every shard.
+    # Without Bloom routing the proc lookup and the reference lookup
+    # both visit every shard — the pre-pruning baseline.
     assert sorted(delta) == sorted(router.domains)
     assert engine.fanout.fanned_out_selects >= len(router.domains)
+    assert engine.fanout.bloom_skipped_selects == 0
+
+
+def test_bloom_routing_matches_naive_fanout_answers():
+    """The Bloom-routed engine returns byte-identical Q3/Q4 answers to
+    the full fan-out engine and never issues *more* selects.  (On fleet
+    data every shard genuinely holds ``input`` references, so the
+    filters admit every shard — the fan-out only shrinks when a probed
+    value is provably absent, which the next test pins.)"""
+    account, router = _fixture()
+    bloom = ShardedSimpleDBQueryEngine(account, router)
+    naive = ShardedSimpleDBQueryEngine(account, router, bloom_routing=False)
+    b3, _ = bloom.q3_direct_outputs(FLEET_PROGRAM)
+    n3, _ = naive.q3_direct_outputs(FLEET_PROGRAM)
+    assert repr(b3) == repr(n3)
+    b4, _ = bloom.q4_all_descendants(FLEET_PROGRAM)
+    n4, _ = naive.q4_all_descendants(FLEET_PROGRAM)
+    assert repr(b4) == repr(n4)
+    assert bloom.fanout.fanned_out_selects <= naive.fanout.fanned_out_selects
+
+
+def test_bloom_routing_prunes_absent_values_to_zero_selects():
+    """A lookup for values no shard ever ingested contacts no shard at
+    all: the proc lookup for an unknown program is answered entirely
+    from the Bloom filters (no select chains started anywhere), and an
+    itemName chunk past the object's last version is dropped whole."""
+    account, router = _fixture()
+    engine = ShardedSimpleDBQueryEngine(account, router)
+    before = dict(account.simpledb.select_stats.chains_by_domain)
+    q3, _ = engine.q3_direct_outputs("no-such-program")
+    assert q3 == []
+    assert _chains_delta(account, before) == {}
+    assert engine.fanout.bloom_skipped_selects == len(router.domains)
+
+    ranged, _ = engine.q2_version_range(TARGET, 50, 60)
+    assert ranged == {}
+    assert engine.fanout.bloom_skipped_chunks >= 1
+    # ...and the pruned paths cost nothing on the service either.
+    assert _chains_delta(account, before) == {}
 
 
 def test_routed_answers_byte_identical_to_naive_fanout():
