@@ -2329,6 +2329,501 @@ def chaos_slo_experiment(
     )
 
 
+#: The fleet-sizing modes the autoscale sweep compares.  ``static-N``
+#: pins N commit daemons for the whole run (the BENCH_chaos_slo
+#: configuration); ``auto`` runs the supervisor control plane.
+AUTOSCALE_MODES = ("static-1", "static-2", "auto")
+
+#: Schedules the autoscale sweep runs (the chaos ``degraded`` axis is
+#: covered by BENCH_chaos_slo; the autoscaler targets the crash tail).
+AUTOSCALE_SCHEDULES = ("steady", "crashes")
+
+
+@dataclass
+class AutoscalePoint:
+    """One (fleet size, mode, schedule) autoscale run's measurements."""
+
+    clients: int
+    mode: str
+    schedule: str
+    flushes: int
+    committed: int
+    elapsed_seconds: float
+    drain_seconds: float
+    lag_mean_s: float
+    lag_p99_s: float
+    lag_max_s: float
+    #: Read-staleness SLO axis: p99 of the Q1 readers'
+    #: :attr:`~repro.workloads.fleet.ReaderSample.stale` observations.
+    stale_p99: float
+    crashes_fired: int
+    respawns: int
+    #: Provisioned daemon time: Σ over every ``pool-*`` incarnation of
+    #: (finish − first activation) — the fleet-cost axis the autoscaler
+    #: must beat by scaling down when load subsides.
+    daemon_seconds: float
+    pool_peak: int
+    pool_end: int
+    scale_ups: int = 0
+    scale_downs: int = 0
+    window_adjusts: int = 0
+
+
+@dataclass
+class AutoscaleRunOutcome:
+    """An autoscale run's point plus the settled store's fingerprint."""
+
+    point: AutoscalePoint
+    answers: Tuple[str, str, str, str]
+    query_billing: Tuple[int, int]
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class AutoscaleSLOResult:
+    """The autoscale sweep: fleet size x mode x fault schedule.
+
+    The headline extends BENCH_chaos_slo's negative result: where *no*
+    static daemon count met the p99 commit-lag SLO under recurring
+    crashes, the supervisor does — and still spends fewer provisioned
+    daemon-seconds than the largest static fleet, because it scales
+    back down once the WAL backlog clears.
+    """
+
+    points: List[AutoscalePoint]
+    slo_p99_s: float
+    #: (clients, schedule, mode) -> that cell's p99 lag met the SLO.
+    slo_met: Dict[Tuple[int, str, str], bool]
+    #: (clients, schedule) cells where every static mode misses the SLO
+    #: but ``auto`` meets it — the filled ``null`` cells.
+    filled_cells: List[Tuple[int, str]]
+    #: (clients, schedule) -> auto used fewer daemon-seconds than the
+    #: largest static fleet in that cell.
+    auto_cheaper: Dict[Tuple[int, str], bool]
+    #: Every crashes run ends byte-identical (Q1-Q4 answers + query
+    #: billing) to the same-mode steady run.
+    recovery_identical: bool
+    telemetry: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = render_table(
+            (
+                "Clients", "Mode", "Schedule", "Committed", "Lag p99",
+                "SLO", "Stale p99", "Daemon-s", "Pool peak/end",
+                "Scale up/down", "Crashes", "Respawns",
+            ),
+            [
+                (
+                    p.clients,
+                    p.mode,
+                    p.schedule,
+                    f"{p.committed}/{p.flushes}",
+                    f"{p.lag_p99_s:.1f}s",
+                    "ok"
+                    if self.slo_met[(p.clients, p.schedule, p.mode)]
+                    else "MISS",
+                    f"{p.stale_p99:.0f}",
+                    f"{p.daemon_seconds:.0f}",
+                    f"{p.pool_peak}/{p.pool_end}",
+                    f"{p.scale_ups}/{p.scale_downs}",
+                    p.crashes_fired,
+                    p.respawns,
+                )
+                for p in self.points
+            ],
+            title="Autoscale sweep: fleet x mode x fault schedule",
+        )
+        filled = ", ".join(
+            f"(clients={c}, {s})" for c, s in self.filled_cells
+        ) or "none"
+        lines = [
+            table,
+            f"p99 commit-lag SLO: {self.slo_p99_s:.0f}s",
+            f"null cells filled by the autoscaler: {filled}",
+            "auto cheaper than largest static fleet: "
+            + ", ".join(
+                f"(clients={c}, {s}): {ok}"
+                for (c, s), ok in sorted(self.auto_cheaper.items())
+            ),
+            "chaos recovery invariant (crashes == steady, per mode): "
+            f"{self.recovery_identical}",
+        ]
+        return "\n\n".join(lines)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "slo_p99_s": self.slo_p99_s,
+            "recovery_identical": self.recovery_identical,
+            "points": [
+                {
+                    "clients": p.clients,
+                    "mode": p.mode,
+                    "schedule": p.schedule,
+                    "flushes": p.flushes,
+                    "committed": p.committed,
+                    "elapsed_seconds": p.elapsed_seconds,
+                    "drain_seconds": p.drain_seconds,
+                    "lag_mean_s": p.lag_mean_s,
+                    "lag_p99_s": p.lag_p99_s,
+                    "lag_max_s": p.lag_max_s,
+                    "stale_p99": p.stale_p99,
+                    "crashes_fired": p.crashes_fired,
+                    "respawns": p.respawns,
+                    "daemon_seconds": p.daemon_seconds,
+                    "pool_peak": p.pool_peak,
+                    "pool_end": p.pool_end,
+                    "scale_ups": p.scale_ups,
+                    "scale_downs": p.scale_downs,
+                    "window_adjusts": p.window_adjusts,
+                    "slo_met": self.slo_met[
+                        (p.clients, p.schedule, p.mode)
+                    ],
+                }
+                for p in self.points
+            ],
+            "filled_cells": [
+                {"clients": c, "schedule": s} for c, s in self.filled_cells
+            ],
+            "auto_cheaper": [
+                {"clients": c, "schedule": s, "cheaper": ok}
+                for (c, s), ok in sorted(self.auto_cheaper.items())
+            ],
+        }
+
+
+def autoscale_fleet_run(
+    clients: int = 4,
+    files_per_client: int = 3,
+    mode: str = "auto",
+    schedule: str = "crashes",
+    seed: int = 0,
+    think_s: float = 2.0,
+    poll_interval: float = 1.0,
+    extra_attributes: int = 8,
+    file_bytes: int = 16 * 1024,
+    readers: int = 1,
+    reader_interval_s: float = 6.0,
+    crash_every_s: float = 20.0,
+    crash_start_at: float = 10.0,
+    respawn_delay_s: float = 2.0,
+    drain_horizon_s: float = 1800.0,
+    supervisor_config=None,
+) -> AutoscaleRunOutcome:
+    """One autoscale run: the chaos fleet of :func:`chaos_fleet_run`,
+    with the commit-daemon pool sized either statically (``static-N``)
+    or by the :class:`~repro.service.supervisor.Supervisor` control
+    plane (``auto``).
+
+    Both modes name their daemons ``pool-0..``, and the ``crashes``
+    schedule kills ``pool-0`` on the same cadence — the only difference
+    is the control plane.  The static pool reproduces BENCH_chaos_slo's
+    configuration: stock 30 s visibility timeout and a flat respawn
+    delay.  The supervised pool receives with a tight visibility lease,
+    respawns with exponential backoff, and grows/shrinks with the WAL —
+    which is exactly what removes the stranded-message tail that makes
+    every static count miss the p99 SLO under crashes.
+    """
+    import random as _random
+
+    from repro.core.commit_daemon import CommitDaemon
+    from repro.service.supervisor import Supervisor, SupervisorConfig
+    from repro.sim import SimKernel
+    from repro.workloads.fleet import (
+        FLEET_PROGRAM,
+        FleetWatch,
+        ReaderSample,
+        make_fleet,
+        protocol_client_process,
+        reader_process,
+    )
+
+    if schedule not in AUTOSCALE_SCHEDULES:
+        raise ValueError(
+            f"unknown autoscale schedule {schedule!r} "
+            f"(one of {AUTOSCALE_SCHEDULES})"
+        )
+    if mode != "auto" and not mode.startswith("static-"):
+        raise ValueError(f"unknown autoscale mode {mode!r}")
+
+    account = CloudAccount(seed=seed)
+    protocol = ProtocolP3(account, client_id="fleet-shared")
+    fleet = make_fleet(
+        clients=clients,
+        files_per_client=files_per_client,
+        file_bytes=file_bytes,
+        extra_attributes=extra_attributes,
+        seed=seed,
+    )
+    kernel = SimKernel(account)
+    kernel.scrape_every(5.0)
+    watch = FleetWatch()
+
+    daemon_objs: List = []
+    supervisor: Optional[Supervisor] = None
+
+    def fresh_daemon() -> CommitDaemon:
+        daemon = CommitDaemon(
+            account=account,
+            queue_url=protocol.queue_url,
+            bucket=protocol.bucket,
+            domain=protocol.domain,
+            router=protocol.router,
+        )
+        daemon_objs.append(daemon)
+        return daemon
+
+    if mode == "auto":
+        config = (
+            supervisor_config
+            if supervisor_config is not None
+            else SupervisorConfig(poll_interval_s=poll_interval)
+        )
+        supervisor = Supervisor(
+            account,
+            kernel,
+            fresh_daemon,
+            protocol.queue_url,
+            config=config,
+        )
+        supervisor.start()
+        kernel.spawn(supervisor.process(), name="supervisor", daemon=True)
+    else:
+        static_count = int(mode.split("-", 1)[1])
+        if static_count < 1:
+            raise ValueError(f"static mode needs >= 1 daemon (got {mode})")
+        for index in range(static_count):
+            kernel.spawn(
+                fresh_daemon().process(poll_interval=poll_interval),
+                name=f"pool-{index}",
+                daemon=True,
+            )
+        account.faults.schedule.respawn(
+            "pool-0",
+            lambda: fresh_daemon().process(poll_interval=poll_interval),
+            delay_s=respawn_delay_s,
+        )
+
+    recurring = None
+    if schedule == "crashes":
+        recurring = account.faults.schedule.crash_every(
+            "pool-0", every_s=crash_every_s, start_at=crash_start_at
+        )
+
+    master = _random.Random(seed)
+    for client in fleet:
+        rng = _random.Random(master.randrange(1 << 30))
+        kernel.spawn(
+            protocol_client_process(protocol, client, think_s, rng, watch),
+            name=client.client_id,
+        )
+
+    samples: List[ReaderSample] = []
+    reader_rng = _random.Random(master.randrange(1 << 30))
+    for index in range(readers):
+        kernel.spawn(
+            reader_process(
+                account,
+                protocol.router.domains,
+                FLEET_PROGRAM,
+                watch,
+                samples,
+                interval_s=reader_interval_s,
+                queries=("q1", "q3"),
+                rng=_random.Random(reader_rng.randrange(1 << 30)),
+                label=f"reader-{index}",
+            ),
+            name=f"reader-{index}",
+            daemon=True,
+        )
+
+    kernel.run()  # clients to completion
+    clients_done_at = account.now
+    horizon = account.now + drain_horizon_s
+    while (
+        account.sqs.pending_count(protocol.queue_url) > 0
+        and account.now < horizon
+    ):
+        kernel.run(until=min(account.now + 5 * poll_interval, horizon))
+    kernel.run(until=account.now + 2 * poll_interval)
+    # Daemon-seconds are measured at drain end, before the settle below
+    # inflates every surviving member's provisioned time equally.
+    daemon_seconds = 0.0
+    pool_incarnations = 0
+    for process in kernel.processes:
+        if not process.name.startswith("pool-"):
+            continue
+        domain = process.domain
+        if domain.started_at < 0:
+            continue
+        pool_incarnations += 1
+        finished = (
+            domain.finished_at if domain.finished_at >= 0 else account.now
+        )
+        daemon_seconds += finished - domain.started_at
+    account.settle(120.0)
+    kernel.run(until=account.now + 2 * reader_interval_s)
+
+    lags = [
+        record.committed_at - record.logged_at
+        for daemon in daemon_objs
+        for record in daemon.commit_log
+    ]
+    committed = sum(d.committed_count() for d in daemon_objs)
+    last_commit = max(
+        (record.committed_at for d in daemon_objs for record in d.commit_log),
+        default=clients_done_at,
+    )
+    q1_samples = [s for s in samples if s.query == "q1"]
+    events = account.telemetry.events
+    if mode == "auto":
+        pool_end = len(supervisor.pool)
+        pool_peak = max(
+            [len(supervisor.pool)]
+            + [
+                int(event["pool"])
+                for event in events.of_kind("supervisor.scale_up")
+            ]
+        )
+    else:
+        pool_end = pool_peak = int(mode.split("-", 1)[1])
+    point = AutoscalePoint(
+        clients=clients,
+        mode=mode,
+        schedule=schedule,
+        flushes=sum(len(client.works) for client in fleet),
+        committed=committed,
+        elapsed_seconds=max(clients_done_at, last_commit),
+        drain_seconds=max(0.0, last_commit - clients_done_at),
+        lag_mean_s=sum(lags) / len(lags) if lags else 0.0,
+        lag_p99_s=_percentile(lags, 0.99),
+        lag_max_s=max(lags, default=0.0),
+        stale_p99=_percentile([float(s.stale) for s in q1_samples], 0.99),
+        crashes_fired=len(recurring.fired_at) if recurring else 0,
+        respawns=sum(
+            policy.respawns
+            for policy in account.faults.schedule.respawns.values()
+        ),
+        daemon_seconds=daemon_seconds,
+        pool_peak=pool_peak,
+        pool_end=pool_end,
+        scale_ups=len(events.of_kind("supervisor.scale_up")),
+        scale_downs=len(events.of_kind("supervisor.scale_down")),
+        window_adjusts=len(events.of_kind("supervisor.window_adjust")),
+    )
+
+    engine = SimpleDBQueryEngine(
+        account, domain=protocol.domain, bucket=protocol.bucket
+    )
+    target_path = f"{MOUNT}fleet/c0000/f000.dat"
+    q1_rows = account.simpledb.select(f"select * from {protocol.domain}")
+    ops_before = account.billing.operation_count()
+    bytes_before = (
+        account.billing.bytes_received() + account.billing.bytes_transmitted()
+    )
+    q2, _ = engine.q2_object_provenance(target_path)
+    q3, _ = engine.q3_direct_outputs(FLEET_PROGRAM)
+    q4, _ = engine.q4_all_descendants(FLEET_PROGRAM)
+    query_billing = (
+        account.billing.operation_count() - ops_before,
+        account.billing.bytes_received()
+        + account.billing.bytes_transmitted()
+        - bytes_before,
+    )
+    return AutoscaleRunOutcome(
+        point=point,
+        answers=(repr(q1_rows), repr(q2), repr(q3), repr(q4)),
+        query_billing=query_billing,
+        telemetry=account.telemetry.metrics.snapshot(),
+    )
+
+
+def autoscale_slo_experiment(
+    fleet_sizes: Sequence[int] = (2, 4),
+    modes: Sequence[str] = AUTOSCALE_MODES,
+    schedules: Sequence[str] = AUTOSCALE_SCHEDULES,
+    slo_p99_s: float = 30.0,
+    seed: int = 0,
+    **run_kwargs,
+) -> AutoscaleSLOResult:
+    """The autoscale sweep: fleet size x sizing mode x fault schedule.
+
+    Headlines beyond the raw points:
+
+    - **Filled null cells** — (fleet, schedule) cells where every
+      static mode misses the p99 commit-lag SLO but the supervisor
+      meets it (BENCH_chaos_slo's ``daemons: null`` rows, closed).
+    - **Scale-down economy** — in each cell the supervisor uses fewer
+      provisioned daemon-seconds than the largest static fleet.
+    - **The chaos recovery invariant** — every ``crashes`` run ends
+      with Q1-Q4 answers and query billing byte-identical to the
+      same-mode ``steady`` run.
+    """
+    points: List[AutoscalePoint] = []
+    outcomes: Dict[Tuple[int, str, str], AutoscaleRunOutcome] = {}
+    telemetry: Dict[str, Dict[str, object]] = {}
+    for clients in fleet_sizes:
+        for mode in modes:
+            for schedule in schedules:
+                outcome = autoscale_fleet_run(
+                    clients=clients,
+                    mode=mode,
+                    schedule=schedule,
+                    seed=seed,
+                    **run_kwargs,
+                )
+                outcomes[(clients, mode, schedule)] = outcome
+                points.append(outcome.point)
+                telemetry[f"c{clients}-{mode}-{schedule}"] = (
+                    outcome.telemetry
+                )
+
+    slo_met = {
+        (p.clients, p.schedule, p.mode): p.lag_p99_s <= slo_p99_s
+        for p in points
+    }
+    static_modes = [m for m in modes if m.startswith("static-")]
+    filled_cells: List[Tuple[int, str]] = []
+    auto_cheaper: Dict[Tuple[int, str], bool] = {}
+    if "auto" in modes and static_modes:
+        for clients in fleet_sizes:
+            for schedule in schedules:
+                statics_fail = all(
+                    not slo_met[(clients, schedule, m)] for m in static_modes
+                )
+                if statics_fail and slo_met[(clients, schedule, "auto")]:
+                    filled_cells.append((clients, schedule))
+                max_static = max(
+                    outcomes[(clients, m, schedule)].point.daemon_seconds
+                    for m in static_modes
+                )
+                auto_cheaper[(clients, schedule)] = (
+                    outcomes[(clients, "auto", schedule)].point.daemon_seconds
+                    < max_static
+                )
+
+    recovery_identical = True
+    if "steady" in schedules and "crashes" in schedules:
+        for clients in fleet_sizes:
+            for mode in modes:
+                steady = outcomes[(clients, mode, "steady")]
+                crashed = outcomes[(clients, mode, "crashes")]
+                if (
+                    steady.answers != crashed.answers
+                    or steady.query_billing != crashed.query_billing
+                ):
+                    recovery_identical = False
+
+    return AutoscaleSLOResult(
+        points=points,
+        slo_p99_s=slo_p99_s,
+        slo_met=slo_met,
+        filled_cells=filled_cells,
+        auto_cheaper=auto_cheaper,
+        recovery_identical=recovery_identical,
+        telemetry=telemetry,
+    )
+
+
 @dataclass
 class ChunkSweepResult:
     #: (chunk_bytes, elapsed seconds, message count)

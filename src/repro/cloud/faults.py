@@ -102,6 +102,20 @@ class RecurringCrash:
 
 
 @dataclass
+class RespawnRecord:
+    """Bookkeeping for one respawn: when the target died, the delay the
+    policy chose (after backoff), and the virtual time the replacement
+    was scheduled to start.  The *actual* first activation can land
+    later than ``scheduled_at`` when the clock has already jumped past
+    it (an experiment's settle); tests assert the scheduled-vs-actual
+    gap from here plus the replacement process's time domain."""
+
+    died_at: float
+    delay_s: float
+    scheduled_at: float
+
+
+@dataclass
 class RespawnPolicy:
     """Bring ``target`` back ``delay_s`` after it crashes.
 
@@ -111,19 +125,47 @@ class RespawnPolicy:
     WAL queue, not the dead process's memory, is the authority.  The
     kernel spawns the replacement under the same process name, so timed
     and recurring crashes aimed at that name keep applying to it.
+
+    With ``base_delay_s`` set the policy backs off exponentially and
+    deterministically: the n-th respawn (1-based) waits
+    ``base_delay_s * multiplier**(n-1)`` seconds, capped at
+    ``max_delay_s`` — a crash-looping target stops hot-respawning
+    without any jitter that would break same-seed replay.  The default
+    (``base_delay_s=None``) keeps the flat ``delay_s`` behaviour, so
+    existing chaos schedules replay byte-identically.
     """
 
     target: str
     factory: Callable[[], Generator]
     delay_s: float = 1.0
     max_respawns: Optional[int] = None
+    #: Backoff: first-respawn delay.  ``None`` means "no backoff, use
+    #: the flat ``delay_s`` every time" (the pre-supervisor behaviour).
+    base_delay_s: Optional[float] = None
+    #: Backoff growth factor per successive respawn (>= 1).
+    multiplier: float = 2.0
+    #: Backoff ceiling; ``None`` leaves the growth uncapped.
+    max_delay_s: Optional[float] = None
     #: Number of respawns performed so far (kernel bookkeeping).
     respawns: int = 0
     #: Virtual times at which replacements were scheduled.
     respawned_at: List[float] = field(default_factory=list)
+    #: One :class:`RespawnRecord` per respawn — the scheduled delay (and
+    #: time) each death actually got, for scheduled-vs-actual assertions.
+    log: List[RespawnRecord] = field(default_factory=list)
 
     def exhausted(self) -> bool:
         return self.max_respawns is not None and self.respawns >= self.max_respawns
+
+    def delay_for(self, respawn_index: int) -> float:
+        """Delay the ``respawn_index``-th respawn (0-based) waits: the
+        flat ``delay_s`` without backoff, else the capped exponential."""
+        if self.base_delay_s is None:
+            return self.delay_s
+        delay = self.base_delay_s * (self.multiplier ** respawn_index)
+        if self.max_delay_s is not None:
+            delay = min(delay, self.max_delay_s)
+        return delay
 
 
 @dataclass
@@ -139,6 +181,13 @@ class DegradationWindow:
     ``t2`` the kernel restores exactly what it saved at ``t1``.
     Windows must not overlap: each restores the state it captured, so
     overlapping windows would resurrect a mid-degradation baseline.
+
+    A window can also degrade a *single shard* instead of the whole
+    network: with ``domain`` set, that SimpleDB domain's indexing
+    pipeline runs ``item_scale`` times slower for the window's duration
+    (the per-domain ingest ceiling of §5, temporarily collapsed on one
+    shard) while every other shard keeps its baseline throughput —
+    service-tier chaos for the shard-routed deployment.
     """
 
     t1: float
@@ -146,12 +195,17 @@ class DegradationWindow:
     latency_scale: float = 1.0
     add_latency_s: float = 0.0
     duplicate_delivery_rate: Optional[float] = None
+    #: When set, only this SimpleDB domain's indexer pipeline degrades.
+    domain: Optional[str] = None
+    #: Per-item indexing slowdown applied to ``domain`` while open.
+    item_scale: float = 1.0
     applied: bool = False
     restored: bool = False
     scheduled: bool = False
     #: What the kernel saved at t1 (restored verbatim at t2).
     saved_environment: object = None
     saved_duplicate_rate: float = 0.0
+    saved_item_scale: float = 1.0
 
 
 @dataclass
@@ -191,14 +245,32 @@ class FaultSchedule:
         factory: Callable[[], Generator],
         delay_s: float = 1.0,
         max_respawns: Optional[int] = None,
+        base_delay_s: Optional[float] = None,
+        multiplier: float = 2.0,
+        max_delay_s: Optional[float] = None,
     ) -> RespawnPolicy:
         """Register a respawn policy for ``target`` (one per target;
-        re-registering replaces the previous policy)."""
+        re-registering replaces the previous policy).  Passing
+        ``base_delay_s`` switches the policy to deterministic
+        exponential backoff (see :class:`RespawnPolicy`)."""
         if delay_s < 0:
             raise ValueError(f"delay_s must be >= 0 (got {delay_s})")
+        if base_delay_s is not None and base_delay_s < 0:
+            raise ValueError(f"base_delay_s must be >= 0 (got {base_delay_s})")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1 (got {multiplier})")
+        if max_delay_s is not None:
+            if base_delay_s is None:
+                raise ValueError("max_delay_s needs base_delay_s")
+            if max_delay_s < base_delay_s:
+                raise ValueError(
+                    f"max_delay_s ({max_delay_s}) must be >= base_delay_s "
+                    f"({base_delay_s})"
+                )
         policy = RespawnPolicy(
             target=target, factory=factory, delay_s=delay_s,
-            max_respawns=max_respawns,
+            max_respawns=max_respawns, base_delay_s=base_delay_s,
+            multiplier=multiplier, max_delay_s=max_delay_s,
         )
         self.respawns[target] = policy
         return policy
@@ -210,18 +282,26 @@ class FaultSchedule:
         latency_scale: float = 1.0,
         add_latency_s: float = 0.0,
         duplicate_delivery_rate: Optional[float] = None,
+        domain: Optional[str] = None,
+        item_scale: float = 1.0,
     ) -> DegradationWindow:
-        """Arm a degradation window over [t1, t2)."""
+        """Arm a degradation window over [t1, t2).  With ``domain`` set,
+        ``item_scale`` slows only that shard's indexing pipeline."""
         if t1 < 0 or t2 <= t1:
             raise ValueError(
                 f"degradation window needs 0 <= t1 < t2 (got t1={t1}, t2={t2})"
             )
         if latency_scale < 0 or add_latency_s < 0:
             raise ValueError("degradation knobs must be non-negative")
+        if item_scale < 1.0:
+            raise ValueError(f"item_scale must be >= 1 (got {item_scale})")
+        if item_scale != 1.0 and domain is None:
+            raise ValueError("item_scale needs a target domain")
         window = DegradationWindow(
             t1=t1, t2=t2, latency_scale=latency_scale,
             add_latency_s=add_latency_s,
             duplicate_delivery_rate=duplicate_delivery_rate,
+            domain=domain, item_scale=item_scale,
         )
         self.windows.append(window)
         return window

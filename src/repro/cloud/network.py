@@ -108,6 +108,9 @@ class ParallelScheduler:
         self._nic_free_at = 0.0
         #: Per-service time at which the indexing pipeline frees up.
         self._indexer_free_at: Dict[str, float] = {}
+        #: Per-pipeline multiplier on ``per_item_s`` — how a degradation
+        #: window slows one shard's domain without touching the others.
+        self._pipeline_item_scale: Dict[str, float] = {}
 
     @property
     def environment(self) -> EnvironmentProfile:
@@ -120,6 +123,21 @@ class ParallelScheduler:
         (:class:`~repro.cloud.faults.DegradationWindow`) take effect and
         how they restore the baseline afterwards."""
         self._env = environment
+
+    def pipeline_item_scale(self, key: str) -> float:
+        """Current ``per_item_s`` multiplier for one indexing pipeline."""
+        return self._pipeline_item_scale.get(key, 1.0)
+
+    def set_pipeline_item_scale(self, key: str, scale: float) -> None:
+        """Scale one indexing pipeline's per-item cost (``1.0`` restores
+        the baseline).  Keyed like :attr:`Request.indexer_key`, e.g.
+        ``"simpledb:domain-2"`` for a single shard's domain."""
+        if scale <= 0:
+            raise ValueError(f"pipeline item scale must be > 0 (got {scale})")
+        if scale == 1.0:
+            self._pipeline_item_scale.pop(key, None)
+        else:
+            self._pipeline_item_scale[key] = scale
 
     def reset_resources(self) -> None:
         """Forget accumulated NIC/indexer occupancy (used after untimed
@@ -141,8 +159,12 @@ class ParallelScheduler:
             self._nic_free_at = done
         if request.items > 0 and request.profile.per_item_s > 0:
             pipeline = request.indexer_key or request.profile.name
+            per_item = (
+                request.profile.per_item_s
+                * self._pipeline_item_scale.get(pipeline, 1.0)
+            )
             begin = max(done, self._indexer_free_at.get(pipeline, 0.0))
-            done = begin + request.items * request.profile.per_item_s
+            done = begin + request.items * per_item
             self._indexer_free_at[pipeline] = done
         return done
 
@@ -231,8 +253,12 @@ class ParallelScheduler:
                 nic_free = done
             if request.items > 0 and request.profile.per_item_s > 0:
                 pipeline = request.indexer_key or request.profile.name
+                per_item = (
+                    request.profile.per_item_s
+                    * self._pipeline_item_scale.get(pipeline, 1.0)
+                )
                 begin = max(done, indexer_free.get(pipeline, 0.0))
-                done = begin + request.items * request.profile.per_item_s
+                done = begin + request.items * per_item
                 indexer_free[pipeline] = done
             heapq.heappush(pool, done)
             end = max(end, done)

@@ -205,6 +205,39 @@ class SQSService:
             label=f"sqs.Receive {url}",
         )
 
+    def change_visibility_request(
+        self,
+        url: str,
+        receipt_handle: str,
+        visibility_timeout: float = 0.0,
+    ) -> Request:
+        """Build a ChangeMessageVisibility request: reset the message's
+        invisibility window from *now*.  A timeout of ``0`` hands the
+        message straight back to other consumers — how a retiring daemon
+        returns an in-flight transaction to the WAL without waiting out
+        the original visibility timeout.  Idempotent on stale handles;
+        the receipt handle stays valid."""
+        if visibility_timeout < 0:
+            raise InvalidRequestError(
+                f"visibility_timeout must be >= 0 (got {visibility_timeout})"
+            )
+        queue = self._queue(url)
+
+        def apply(start: float, finish: float) -> None:
+            message_id = queue.receipts.get(receipt_handle)
+            if message_id is not None:
+                for stored in queue.messages:
+                    if stored.message_id == message_id and not stored.deleted:
+                        stored.invisible_until = start + visibility_timeout
+                        break
+            self._billing.record("sqs", "ChangeMessageVisibility")
+
+        return Request(
+            profile=self._profile,
+            apply=apply,
+            label=f"sqs.ChangeVisibility {url}",
+        )
+
     def delete_request(self, url: str, receipt_handle: str) -> Request:
         """Build a DeleteMessage request (idempotent on stale handles)."""
         queue = self._queue(url)
@@ -241,6 +274,13 @@ class SQSService:
 
     def delete_message(self, url: str, receipt_handle: str) -> None:
         self._scheduler.execute_one(self.delete_request(url, receipt_handle))
+
+    def change_visibility(
+        self, url: str, receipt_handle: str, visibility_timeout: float = 0.0
+    ) -> None:
+        self._scheduler.execute_one(
+            self.change_visibility_request(url, receipt_handle, visibility_timeout)
+        )
 
     # -- internals --------------------------------------------------------------
 

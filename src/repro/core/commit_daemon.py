@@ -42,7 +42,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.network import Request
-from repro.cloud.sqs import Message
+from repro.cloud.sqs import DEFAULT_VISIBILITY_TIMEOUT, Message
 from repro.errors import (
     DrainExhaustedError,
     NoSuchKeyError,
@@ -110,6 +110,7 @@ class CommitDaemon:
         connections: int = 32,
         charge_time: bool = False,
         router: Optional[DomainRouter] = None,
+        visibility_timeout: Optional[float] = None,
     ):
         self.account = account
         self.queue_url = queue_url
@@ -122,6 +123,21 @@ class CommitDaemon:
         #: When true, daemon requests advance the clock (used by tests
         #: that reason about wall-clock visibility).
         self.charge_time = charge_time
+        #: Visibility timeout this daemon's receives ask for.  Defaults
+        #: to the SQS default; a supervisor running the daemon under a
+        #: respawn policy shortens it (the control plane guarantees a
+        #: replacement consumer, so a crashed daemon's in-flight messages
+        #: should strand for seconds, not the stock 30 s).
+        self.visibility_timeout = (
+            DEFAULT_VISIBILITY_TIMEOUT
+            if visibility_timeout is None
+            else visibility_timeout
+        )
+        #: Set by :meth:`request_stop`; :meth:`process` notices at the top
+        #: of its loop and runs :meth:`retire_plan` instead of receiving.
+        self._stop_requested = False
+        #: True once a graceful retirement completed.
+        self.retired = False
         self._pending: Dict[str, _PendingTransaction] = {}
         self._committed_count = 0
         #: txn id -> virtual send time of its latest WAL packet seen
@@ -151,10 +167,23 @@ class CommitDaemon:
         request = self._receive_plans.get(max_messages)
         if request is None:
             request = self.account.sqs.receive_request(
-                self.queue_url, max_messages=max_messages
+                self.queue_url,
+                max_messages=max_messages,
+                visibility_timeout=self.visibility_timeout,
             )
             self._receive_plans[max_messages] = request
         return request
+
+    def set_visibility_timeout(self, visibility_timeout: float) -> None:
+        """Change the visibility timeout future receives ask for."""
+        self.visibility_timeout = visibility_timeout
+        self._receive_plans.clear()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`process` to retire gracefully: it finishes its
+        current iteration, commits any complete transactions it holds,
+        hands incomplete ones back to the WAL, and returns."""
+        self._stop_requested = True
 
     # -- scheduling that respects the async accounting ------------------------
 
@@ -222,6 +251,9 @@ class CommitDaemon:
         queue comes up empty.  Spawn with ``daemon=True`` — the process
         never returns; the kernel stops it when the experiment ends."""
         while True:
+            if self._stop_requested:
+                yield from self.retire_plan()
+                return
             batch = yield Batch(
                 [self._receive_request(max_messages)],
                 connections=1,
@@ -235,6 +267,29 @@ class CommitDaemon:
                 yield from self.commit_plan(txn_id)
             if not messages:
                 yield Delay(poll_interval)
+
+    def retire_plan(self) -> Generator:
+        """Graceful retirement: commit every *complete* transaction still
+        pending, then hand each *incomplete* transaction's WAL messages
+        straight back to the queue (``ChangeMessageVisibility 0``) so a
+        surviving daemon can assemble it without waiting out this
+        daemon's visibility timeout.  Effect-plan shaped, like
+        :meth:`commit_plan`."""
+        for txn_id in [
+            txn.txn_id for txn in self._pending.values() if txn.complete()
+        ]:
+            yield from self.commit_plan(txn_id)
+        handbacks: List[Request] = [
+            self.account.sqs.change_visibility_request(
+                self.queue_url, receipt, visibility_timeout=0.0
+            )
+            for txn in self._pending.values()
+            for receipt in txn.receipts
+        ]
+        if handbacks:
+            yield Batch(handbacks, self.connections)
+        self._pending.clear()
+        self.retired = True
 
     def _ingest(self, message: Message) -> None:
         parsed = parse_message(message.body)

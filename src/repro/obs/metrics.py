@@ -185,6 +185,20 @@ class MetricsRegistry:
             self._histograms[key] = Histogram(name, labels)
         return self._histograms[key]
 
+    def histograms_named(self, name: str) -> List[Histogram]:
+        """Every histogram registered under ``name``, across all label
+        sets — how a supervisor polls the commit-lag distribution over a
+        whole daemon pool without knowing each member's label."""
+        if not self.enabled:
+            return []
+        return [
+            histogram
+            for (hist_name, _items), histogram in sorted(
+                self._histograms.items()
+            )
+            if hist_name == name
+        ]
+
     def gauge_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> None:
         """Register a callback sampled at snapshot/scrape time.
         Re-registering the same (name, labels) replaces the callback."""

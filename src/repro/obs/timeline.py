@@ -12,6 +12,10 @@ directly):
 * fault injections (``fault.crash`` / ``fault.respawn`` /
   ``fault.degrade.*``) and process lifecycle edges become ``i``
   (instant) markers;
+* control-plane decisions (``supervisor.scale_up`` / ``scale_down`` /
+  ``window_adjust`` / ``backoff``) get their own ``supervisor`` lane of
+  instant markers, so autoscaling actions line up against the pool
+  lanes they created;
 * record-lifecycle traces become nestable async spans (``b``/``n``/
   ``e``) so a transaction's client-emit → visibility arc reads as one
   horizontal bar with stage ticks;
@@ -52,6 +56,8 @@ def chrome_trace_events(telemetry) -> List[Dict[str, Any]]:
     """Build the ``traceEvents`` list from a telemetry hub."""
     out: List[Dict[str, Any]] = []
     lanes = _thread_lanes(telemetry.events)
+    supervisor_events = telemetry.events.of_kind("supervisor.")
+    supervisor_tid = len(lanes) + 1 if supervisor_events else None
 
     out.append(
         {
@@ -71,6 +77,16 @@ def chrome_trace_events(telemetry) -> List[Dict[str, Any]]:
                 "tid": tid,
                 "name": "thread_name",
                 "args": {"name": label},
+            }
+        )
+    if supervisor_tid is not None:
+        out.append(
+            {
+                "ph": "M",
+                "pid": PID,
+                "tid": supervisor_tid,
+                "name": "thread_name",
+                "args": {"name": "supervisor"},
             }
         )
 
@@ -112,6 +128,19 @@ def chrome_trace_events(telemetry) -> List[Dict[str, Any]]:
                     "name": event.kind,
                     "cat": "fault",
                     "s": "p",  # process-scoped: draws a full-height line
+                    "ts": _us(event.t),
+                    "args": dict(event.fields),
+                }
+            )
+        elif event.kind.startswith("supervisor."):
+            out.append(
+                {
+                    "ph": "i",
+                    "pid": PID,
+                    "tid": supervisor_tid,
+                    "name": event.kind,
+                    "cat": "supervisor",
+                    "s": "t",
                     "ts": _us(event.t),
                     "args": dict(event.fields),
                 }

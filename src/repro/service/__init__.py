@@ -14,7 +14,11 @@ and the simulated cloud:
   across clients, amortizing round-trips on the virtual clock,
 - :mod:`repro.service.cache` — :class:`LRUCache` /
   :class:`CachedQueryEngine`: a generation-invalidated LRU read cache
-  with hit/miss counters fronting both query engines.
+  with hit/miss counters fronting both query engines,
+- :mod:`repro.service.supervisor` — :class:`Supervisor`: the
+  SLO-driven autoscaling control plane, sizing the commit-daemon pool
+  from observed WAL depth and commit lag and adapting the gateway's
+  coalescing window.
 
 The client-fleet simulator that drives this tier lives in
 :mod:`repro.workloads.fleet`; the scaling benchmark in
@@ -25,6 +29,7 @@ from repro.service.bloom import BloomFilter, ShardBloomIndex
 from repro.service.cache import CachedQueryEngine, CacheStats, LRUCache
 from repro.service.gateway import GatewayStats, IngestGateway
 from repro.service.sharding import ShardRouter
+from repro.service.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "BloomFilter",
@@ -35,4 +40,6 @@ __all__ = [
     "LRUCache",
     "ShardBloomIndex",
     "ShardRouter",
+    "Supervisor",
+    "SupervisorConfig",
 ]

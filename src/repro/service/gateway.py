@@ -121,6 +121,10 @@ class IngestGateway:
         #: True while the kernel process is mid-window (the window has
         #: been claimed from ``_pending`` but its batch has not shipped).
         self._flushing = False
+        #: Coalescing window of the kernel process, virtual seconds.
+        #: :meth:`process` re-reads it every loop, so a supervisor can
+        #: adapt it live (:meth:`set_window`).
+        self.window_s = 0.25
 
     # -- ingest ---------------------------------------------------------------
 
@@ -159,13 +163,26 @@ class IngestGateway:
         self._pending = []
         self.stats.windows += 1
 
-        requests, item_pairs, batch_count, data_count, spill_count = (
-            self._build_window(window)
-        )
-        cost = self._marshalling_cost(len(requests), item_pairs)
-        if cost > 0:
-            yield Delay(cost)
-        result = yield Batch(requests, self.connections)
+        shipped = False
+        try:
+            requests, item_pairs, batch_count, data_count, spill_count = (
+                self._build_window(window)
+            )
+            cost = self._marshalling_cost(len(requests), item_pairs)
+            if cost > 0:
+                yield Delay(cost)
+            result = yield Batch(requests, self.connections)
+            shipped = True
+        finally:
+            if not shipped:
+                # Killed mid-window: the gateway object is the durable
+                # intake log, so hand the claimed flushes back for the
+                # next incarnation.  If the kill landed *after* the batch
+                # applied but before this generator resumed, the window
+                # is re-issued — harmless, because SimpleDB re-puts are
+                # set-semantics idempotent and the S3 objects re-upload
+                # byte-identical content.
+                self._pending = window + self._pending
 
         if self._tracer.enabled:
             coalesced_at = (
@@ -190,8 +207,9 @@ class IngestGateway:
         ``flush_pending``.  Spawn with ``daemon=True``."""
         if window_s <= 0:
             raise ValueError("window_s must be positive")
+        self.window_s = window_s
         while True:
-            yield Delay(window_s)
+            yield Delay(self.window_s)
             if self._pending:
                 self._flushing = True
                 try:
@@ -200,6 +218,13 @@ class IngestGateway:
                     # A crash mid-window (the kernel closes the generator)
                     # must not leave ``busy`` stuck True forever.
                     self._flushing = False
+
+    def set_window(self, window_s: float) -> None:
+        """Adapt the coalescing window live — the supervisor's lever for
+        trading latency against batching efficiency."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
 
     @property
     def busy(self) -> bool:

@@ -55,7 +55,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 from repro.cloud.account import CloudAccount
 from repro.cloud.clock import TimeDomain
-from repro.cloud.faults import DegradationWindow, RecurringCrash
+from repro.cloud.faults import DegradationWindow, RecurringCrash, RespawnRecord
 from repro.errors import ClientCrashError, CloudServiceError
 
 from repro.sim.events import Batch, Delay
@@ -236,6 +236,8 @@ class SimKernel:
             latency_scale=window.latency_scale,
             add_latency_s=window.add_latency_s,
             duplicate_delivery_rate=window.duplicate_delivery_rate,
+            domain=window.domain,
+            item_scale=window.item_scale,
         )
         env = self.scheduler.environment
         window.saved_environment = env
@@ -251,6 +253,12 @@ class SimKernel:
             self.account.sqs.duplicate_delivery_rate = (
                 window.duplicate_delivery_rate
             )
+        if window.domain is not None:
+            key = f"simpledb:{window.domain}"
+            window.saved_item_scale = self.scheduler.pipeline_item_scale(key)
+            self.scheduler.set_pipeline_item_scale(
+                key, window.saved_item_scale * window.item_scale
+            )
         window.applied = True
 
     def _close_window(self, window: DegradationWindow, now: float) -> None:
@@ -258,6 +266,10 @@ class SimKernel:
             return
         self.scheduler.set_environment(window.saved_environment)
         self.account.sqs.duplicate_delivery_rate = window.saved_duplicate_rate
+        if window.domain is not None:
+            self.scheduler.set_pipeline_item_scale(
+                f"simpledb:{window.domain}", window.saved_item_scale
+            )
         window.restored = True
         self.telemetry.events.emit(
             "fault.degrade.close", now, t1=window.t1, t2=window.t2
@@ -270,9 +282,13 @@ class SimKernel:
         policy = self.account.faults.schedule.respawns.get(process.name)
         if policy is None or policy.exhausted():
             return
+        delay = policy.delay_for(policy.respawns)
         policy.respawns += 1
-        respawn_at = now + policy.delay_s
+        respawn_at = now + delay
         policy.respawned_at.append(respawn_at)
+        policy.log.append(
+            RespawnRecord(died_at=now, delay_s=delay, scheduled_at=respawn_at)
+        )
         replacement = self.spawn(
             policy.factory(),
             name=process.name,
@@ -285,7 +301,7 @@ class SimKernel:
             target=process.name,
             incarnation=replacement.incarnation,
             died_at=now,
-            delay_s=policy.delay_s,
+            delay_s=delay,
         )
 
     def every(

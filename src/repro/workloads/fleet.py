@@ -218,9 +218,7 @@ def run_fleet_kernel(
     bytes_before = account.billing.bytes_transmitted()
     cost_before = account.billing.cost()
 
-    gateway_process = kernel.spawn(
-        gateway.process(window_s), name="gateway", daemon=True
-    )
+    kernel.spawn(gateway.process(window_s), name="gateway", daemon=True)
     master = random.Random(seed)
     for client in fleet:
         rng = random.Random(master.randrange(1 << 30))
@@ -230,8 +228,13 @@ def run_fleet_kernel(
     kernel.run()
     # Let the gateway ship the tail windows the clients left behind
     # (``busy`` also covers a window cut mid-flush by the run horizon).
-    # A crashed gateway can never drain, so stop waiting for it.
-    while gateway.busy and gateway_process.alive:
+    # Respawn policies spawn replacement incarnations the moment the old
+    # one dies (scheduled for a later activation), so checking *any*
+    # alive incarnation also covers a respawn still on its way; only a
+    # gateway that is dead for good can never drain.
+    while gateway.busy and any(
+        p.alive for p in kernel.processes_named("gateway")
+    ):
         kernel.run(until=account.now + window_s)
 
     return FleetRunResult(

@@ -79,6 +79,62 @@ class TestVisibilityTimeout:
         assert len(sqs.receive_messages(queue)) == 1
 
 
+class TestChangeVisibility:
+    def test_timeout_zero_hands_the_message_straight_back(
+        self, strict_account, queue
+    ):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        first = sqs.receive_messages(queue, visibility_timeout=30.0)[0]
+        assert sqs.receive_messages(queue) == []
+        # No clock advance: the handback alone re-exposes the message.
+        sqs.change_visibility(queue, first.receipt_handle, 0.0)
+        again = sqs.receive_messages(queue)
+        assert [m.body for m in again] == ["m"]
+        assert again[0].message_id == first.message_id
+
+    def test_extends_the_lease_from_now(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        message = sqs.receive_messages(queue, visibility_timeout=10.0)[0]
+        sqs.change_visibility(queue, message.receipt_handle, 100.0)
+        # The original 10 s lease would have lapsed by now; the reset
+        # window (from the change, not the receive) still holds.
+        strict_account.clock.advance(50.0)
+        assert sqs.receive_messages(queue) == []
+        strict_account.clock.advance(60.0)
+        assert len(sqs.receive_messages(queue)) == 1
+
+    def test_receipt_handle_survives_the_change(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        message = sqs.receive_messages(queue)[0]
+        sqs.change_visibility(queue, message.receipt_handle, 60.0)
+        # The retiring daemon's other path: the handle still deletes.
+        sqs.delete_message(queue, message.receipt_handle)
+        strict_account.clock.advance(100.0)
+        assert sqs.pending_count(queue) == 0
+
+    def test_stale_receipt_is_noop(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        sqs.receive_messages(queue, visibility_timeout=30.0)
+        sqs.change_visibility(queue, "bogus#r1", 0.0)
+        assert sqs.receive_messages(queue) == []
+
+    def test_negative_timeout_rejected(self, strict_account, queue):
+        with pytest.raises(InvalidRequestError):
+            strict_account.sqs.change_visibility_request(queue, "r", -1.0)
+
+    def test_change_is_billed(self, strict_account, queue):
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        message = sqs.receive_messages(queue)[0]
+        ops_before = strict_account.billing.operation_count()
+        sqs.change_visibility(queue, message.receipt_handle, 0.0)
+        assert strict_account.billing.operation_count() == ops_before + 1
+
+
 class TestRetention:
     def test_messages_expire_after_four_days(self, strict_account, queue):
         sqs = strict_account.sqs
