@@ -1,0 +1,81 @@
+"""Store fingerprints for the cross-backend differential matrix.
+
+A *fingerprint* is a SHA-1 over a canonical text rendering of a store's
+fully-propagated state — every domain's items and attribute bags, every
+bucket's keys with sizes, digests, and metadata, every queue's pending
+depth.  Two backends that executed the same workload must produce the
+same fingerprint; the differential tests (``tests/backend_matrix.py``)
+and the chaos harness assert exactly that.
+
+Fingerprints use the services' omniscient ``peek_*`` APIs, so they see
+through eventual-consistency visibility delays: they compare what the
+stores *hold*, not what a client could observe mid-propagation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional
+
+
+def _sha1(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def simpledb_fingerprint(simpledb, domains: Optional[Iterable[str]] = None) -> str:
+    """Canonical digest of every domain's fully-propagated items."""
+    if domains is None:
+        domains = sorted(simpledb._domains)
+    parts: List[str] = []
+    for domain in sorted(domains):
+        parts.append(f"domain={domain}")
+        for name in simpledb.peek_item_names(domain):
+            attrs = simpledb.peek_item(domain, name)
+            bag = sorted((a, tuple(sorted(vs))) for a, vs in attrs.items())
+            parts.append(f"  item={name} attrs={bag!r}")
+    return _sha1("\n".join(parts))
+
+
+def s3_fingerprint(s3, buckets: Optional[Iterable[str]] = None) -> str:
+    """Canonical digest of every bucket's fully-propagated objects."""
+    if buckets is None:
+        buckets = sorted(s3._buckets)
+    parts: List[str] = []
+    for bucket in sorted(buckets):
+        parts.append(f"bucket={bucket}")
+        for key in s3.peek_keys(bucket):
+            record = s3.peek_latest(bucket, key)
+            if record is None:
+                continue
+            blob = record.blob
+            meta = sorted(record.metadata.items())
+            parts.append(
+                f"  key={key} size={blob.size} digest={blob.digest} meta={meta!r}"
+            )
+    return _sha1("\n".join(parts))
+
+
+def sqs_fingerprint(sqs, urls: Iterable[str]) -> str:
+    """Canonical digest of the named queues' pending depths."""
+    parts = [f"queue={url} pending={sqs.pending_count(url)}" for url in sorted(urls)]
+    return _sha1("\n".join(parts))
+
+
+def store_fingerprint(
+    account,
+    domains: Optional[Iterable[str]] = None,
+    buckets: Optional[Iterable[str]] = None,
+    queue_urls: Iterable[str] = (),
+) -> str:
+    """One digest over an account's SimpleDB + S3 (+ optionally SQS)
+    state.  With ``domains``/``buckets`` omitted, every domain and
+    bucket the account holds is covered."""
+    return _sha1(
+        "\n".join(
+            (
+                simpledb_fingerprint(account.simpledb, domains),
+                s3_fingerprint(account.s3, buckets),
+                sqs_fingerprint(account.sqs, queue_urls),
+            )
+        )
+    )

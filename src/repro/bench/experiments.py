@@ -335,11 +335,15 @@ def fig3_microbenchmark(
     scale: float = 1.0,
     environments: Sequence[str] = ("ec2", "uml"),
     seed: int = 0,
+    backend: str = "sim",
 ) -> Fig3Result:
     """Reproduce Figure 3: the Blast upload-only replay on EC2 and UML.
 
     Paper shape: P3 has the lowest overhead (~33 %), P1 dominates P2,
     P2 is the most expensive (~79 %); UML preserves the pattern.
+
+    ``backend`` selects the storage backend (:mod:`repro.backends`);
+    the differential matrix pins ``"sim"`` and ``"local"`` identical.
     """
     workload = _workload_by_name("blast", scale)
     envs = {"ec2": EC2_ENV, "uml": UML_ENV, "local": LOCAL_ENV}
@@ -349,12 +353,13 @@ def fig3_microbenchmark(
         profile = SimulationProfile().with_environment(envs[env_name])
         per_config: Dict[str, MicrobenchResult] = {}
         for config in CONFIGURATIONS:
-            account = CloudAccount(profile=profile, seed=seed)
+            account = CloudAccount(profile=profile, seed=seed, backend=backend)
             per_config[config] = run_microbenchmark(
                 workload, config, profile=profile, seed=seed, account=account
             )
             if config == "p3":
                 telemetry[env_name] = account.telemetry.metrics.snapshot()
+            account.close()
         results[env_name] = per_config
     return Fig3Result(results=results, telemetry=telemetry)
 
@@ -1920,6 +1925,9 @@ class ChaosRunOutcome:
     #: Final metrics-registry snapshot for the run (after the Q1-Q4
     #: fingerprint queries billed).
     telemetry: Dict[str, object] = field(default_factory=dict)
+    #: Canonical digest of the settled store (domains + buckets + queue
+    #: depth); identical across backends that ran the same workload.
+    store_fingerprint: str = ""
 
 
 @dataclass
@@ -2046,6 +2054,7 @@ def chaos_fleet_run(
     degrade_add_latency_s: float = 0.25,
     degrade_duplicate_rate: float = 0.25,
     drain_horizon_s: float = 1800.0,
+    backend: str = "sim",
 ) -> ChaosRunOutcome:
     """One chaos run: a P3 fleet on the kernel under a named fault
     schedule, with concurrent Q1/Q3 readers, drained to quiescence and
@@ -2087,7 +2096,7 @@ def chaos_fleet_run(
             f"unknown chaos schedule {schedule!r} (one of {CHAOS_SCHEDULES})"
         )
 
-    account = CloudAccount(seed=seed)
+    account = CloudAccount(seed=seed, backend=backend)
     protocol = ProtocolP3(account, client_id="fleet-shared")
     fleet = make_fleet(
         clients=clients,
@@ -2246,12 +2255,18 @@ def chaos_fleet_run(
         + account.billing.bytes_transmitted()
         - bytes_before,
     )
-    return ChaosRunOutcome(
+    from repro.backends.parity import store_fingerprint
+
+    fingerprint = store_fingerprint(account, queue_urls=[protocol.queue_url])
+    outcome = ChaosRunOutcome(
         point=point,
         answers=(repr(q1_rows), repr(q2), repr(q3), repr(q4)),
         query_billing=query_billing,
         telemetry=account.telemetry.metrics.snapshot(),
+        store_fingerprint=fingerprint,
     )
+    account.close()
+    return outcome
 
 
 def chaos_slo_experiment(
@@ -2855,3 +2870,134 @@ def ablation_chunk_size(
         makespan = account.scheduler.execute_batch(requests, connections).makespan
         points.append((chunk_bytes, makespan, len(chunks)))
     return ChunkSweepResult(points=points)
+
+
+@dataclass
+class BackendParityPoint:
+    """One configuration's sim-vs-local comparison."""
+
+    configuration: str
+    #: The simulator's predicted elapsed virtual time (identical on
+    #: both backends by construction — asserted below).
+    predicted_virtual_s: float
+    #: Host wall-clock seconds the replay took on each backend.
+    sim_wall_s: float
+    local_wall_s: float
+    operations: int
+    bytes_transmitted: int
+    cost_usd: float
+    #: Whether the two backends' MicrobenchResults were equal.
+    results_match: bool
+    #: Whether the two settled stores fingerprinted identically.
+    fingerprints_match: bool
+    store_fingerprint: str
+
+
+@dataclass
+class BackendParityResult:
+    """The backend-parity experiment: predictions vs sqlite reality."""
+
+    points: List[BackendParityPoint]
+    backend_root: str = ""
+
+    @property
+    def all_match(self) -> bool:
+        return all(p.results_match and p.fingerprints_match for p in self.points)
+
+    def render(self) -> str:
+        rows = [
+            (
+                p.configuration,
+                f"{p.predicted_virtual_s:.1f}",
+                f"{p.sim_wall_s:.3f}",
+                f"{p.local_wall_s:.3f}",
+                p.operations,
+                "yes" if p.results_match and p.fingerprints_match else "NO",
+            )
+            for p in self.points
+        ]
+        return render_table(
+            (
+                "Config",
+                "Predicted (virtual s)",
+                "Sim wall (s)",
+                "Local wall (s)",
+                "Ops",
+                "Parity",
+            ),
+            rows,
+            title="Backend parity: simulated predictions vs sqlite reality",
+        )
+
+    def as_json(self) -> Dict[str, Dict[str, object]]:
+        return {
+            p.configuration: {
+                "predicted_virtual_s": p.predicted_virtual_s,
+                "sim_wall_s": p.sim_wall_s,
+                "local_wall_s": p.local_wall_s,
+                "operations": p.operations,
+                "bytes_transmitted": p.bytes_transmitted,
+                "cost_usd": p.cost_usd,
+                "results_match": p.results_match,
+                "fingerprints_match": p.fingerprints_match,
+                "store_fingerprint": p.store_fingerprint,
+            }
+            for p in self.points
+        }
+
+
+def backend_parity(
+    scale: float = 0.1,
+    seed: int = 0,
+    configurations: Sequence[str] = CONFIGURATIONS,
+) -> BackendParityResult:
+    """The Blast replay per configuration on both backends, comparing
+    the simulator's cost/latency *predictions* (virtual seconds,
+    operation counts, dollars — identical on both backends by
+    construction) against the *measured* host wall clock of real sqlite
+    and filesystem storage.
+
+    The virtual-time results must be byte-identical; the wall-clock
+    columns are the honest physical difference between the in-memory
+    and on-disk substrates.  Wall-clock numbers are measurement of the
+    harness itself and never feed back into any simulated quantity.
+    """
+    import time
+
+    from repro.backends.parity import store_fingerprint
+
+    workload = _workload_by_name("blast", scale)
+    profile = SimulationProfile()
+    points: List[BackendParityPoint] = []
+    last_root = ""
+    for config in configurations:
+        outcomes = {}
+        for backend in ("sim", "local"):
+            account = CloudAccount(profile=profile, seed=seed, backend=backend)
+            t0 = time.perf_counter()  # wallclock-ok
+            result = run_microbenchmark(
+                workload, config, profile=profile, seed=seed, account=account
+            )
+            wall = time.perf_counter() - t0  # wallclock-ok
+            account.settle(120.0)
+            outcomes[backend] = (result, store_fingerprint(account), wall)
+            if backend == "local":
+                last_root = account.backend_root or ""
+            account.close()
+        (sim_res, sim_fp, sim_wall) = outcomes["sim"]
+        (loc_res, loc_fp, loc_wall) = outcomes["local"]
+        points.append(
+            BackendParityPoint(
+                configuration=config,
+                predicted_virtual_s=sim_res.elapsed_seconds,
+                sim_wall_s=sim_wall,
+                local_wall_s=loc_wall,
+                operations=sim_res.operations,
+                bytes_transmitted=sim_res.bytes_transmitted,
+                cost_usd=sim_res.cost_usd,
+                results_match=sim_res == loc_res,
+                fingerprints_match=sim_fp == loc_fp,
+                store_fingerprint=sim_fp,
+            )
+        )
+    return BackendParityResult(points=points, backend_root=last_root)

@@ -4,25 +4,24 @@ One account is one experiment's cloud: a virtual clock, a scheduler tied
 to an environment profile, the three services with their calibrated
 (period-adjusted) profiles, a billing meter, and a fault plan.  Protocols
 and workloads receive an account and never construct services directly.
+
+The services themselves come from a pluggable *backend*
+(:mod:`repro.backends`): ``"sim"`` (default) keeps everything in process
+memory, ``"local"`` stores rows in sqlite and blobs on the filesystem —
+same APIs, same seeded consistency draws, byte-identical answers.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.backends import build_backend
 from repro.cloud.billing import BillingMeter, PriceBook
 from repro.cloud.clock import Stopwatch, VirtualClock
-from repro.cloud.consistency import (
-    ConsistencyEngine,
-    ConsistencyModel,
-    PropagationSampler,
-)
+from repro.cloud.consistency import ConsistencyModel
 from repro.cloud.faults import FaultPlan
 from repro.cloud.network import ParallelScheduler
 from repro.cloud.profiles import SimulationProfile
-from repro.cloud.s3 import S3Service
-from repro.cloud.simpledb import SimpleDBService
-from repro.cloud.sqs import SQSService
 from repro.obs import Telemetry
 
 
@@ -41,6 +40,12 @@ class CloudAccount:
             construct one enabled/disabled.  Telemetry is observational
             only — the suite pins that disabling it leaves answers and
             billing byte-identical.
+        backend: which storage backend serves S3/SimpleDB/SQS —
+            ``"sim"`` (in-memory, default) or ``"local"``
+            (sqlite + filesystem; see :mod:`repro.backends.local`).
+        backend_root: storage directory for on-disk backends.  Omitted,
+            a temporary directory is used and removed by :meth:`close`;
+            given, the data is durable across accounts.
     """
 
     def __init__(
@@ -51,6 +56,8 @@ class CloudAccount:
         faults: Optional[FaultPlan] = None,
         prices: PriceBook = PriceBook(),
         telemetry=None,
+        backend: str = "sim",
+        backend_root: Optional[str] = None,
     ):
         self.profile = profile
         self.clock = VirtualClock()
@@ -60,38 +67,29 @@ class CloudAccount:
         self.faults = faults if faults is not None else FaultPlan()
         self.consistency_model = consistency
 
-        s3_profile = profile.service("s3")
-        sdb_profile = profile.service("simpledb")
-        sqs_profile = profile.service("sqs")
-
-        self.s3 = S3Service(
-            self.scheduler,
-            s3_profile,
-            self.billing,
-            ConsistencyEngine(
-                consistency,
-                PropagationSampler(s3_profile.propagation_delay_mean_s, seed + 1),
-            ),
-        )
-        self.simpledb = SimpleDBService(
-            self.scheduler,
-            sdb_profile,
-            self.billing,
-            ConsistencyEngine(
-                consistency,
-                PropagationSampler(sdb_profile.propagation_delay_mean_s, seed + 2),
-            ),
+        self._backend = build_backend(
+            backend,
+            scheduler=self.scheduler,
+            profile=profile,
+            billing=self.billing,
+            consistency=consistency,
+            seed=seed,
             telemetry=self.telemetry,
+            root=backend_root,
         )
-        self.sqs = SQSService(
-            self.scheduler,
-            sqs_profile,
-            self.billing,
-            seed=seed + 3,
-            telemetry=self.telemetry,
-        )
+        self.backend = self._backend.name
+        self.backend_root = self._backend.root
+        self.s3 = self._backend.s3
+        self.simpledb = self._backend.simpledb
+        self.sqs = self._backend.sqs
 
         self.billing.bind_metrics(self.telemetry.metrics)
+
+    def close(self) -> None:
+        """Release backend resources (sqlite connections; temp dirs when
+        the backend root was auto-created).  Idempotent; a no-op for the
+        in-memory backend."""
+        self._backend.close()
 
     def stopwatch(self) -> Stopwatch:
         """A stopwatch over the account's virtual clock."""

@@ -216,7 +216,15 @@ class SQSService:
         message straight back to other consumers — how a retiring daemon
         returns an in-flight transaction to the WAL without waiting out
         the original visibility timeout.  Idempotent on stale handles;
-        the receipt handle stays valid."""
+        the receipt handle stays valid.
+
+        The request only acts while the caller still *holds* the lease:
+        the handle must be the message's most recent receipt and the
+        invisibility window must still be open.  Once the lease has
+        expired the message already belongs to the queue (or to whoever
+        re-received it), so a late ``ChangeMessageVisibility`` — timeout
+        ``0`` from a retiring daemon, or any other value — is a no-op
+        rather than a clobber of the next consumer's lease."""
         if visibility_timeout < 0:
             raise InvalidRequestError(
                 f"visibility_timeout must be >= 0 (got {visibility_timeout})"
@@ -228,7 +236,9 @@ class SQSService:
             if message_id is not None:
                 for stored in queue.messages:
                     if stored.message_id == message_id and not stored.deleted:
-                        stored.invisible_until = start + visibility_timeout
+                        latest = f"{stored.message_id}#r{stored.receipt_counter}"
+                        if receipt_handle == latest and stored.invisible_until > start:
+                            stored.invisible_until = start + visibility_timeout
                         break
             self._billing.record("sqs", "ChangeMessageVisibility")
 

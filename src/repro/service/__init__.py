@@ -18,7 +18,10 @@ and the simulated cloud:
 - :mod:`repro.service.supervisor` — :class:`Supervisor`: the
   SLO-driven autoscaling control plane, sizing the commit-daemon pool
   from observed WAL depth and commit lag and adapting the gateway's
-  coalescing window.
+  coalescing window,
+- :mod:`repro.service.http_frontend` — :class:`ProvenanceFrontend`: a
+  stdlib-``http.server`` JSON front end mapping HTTP requests 1:1 onto
+  the gateway's ingest and the cached query engines.
 
 The client-fleet simulator that drives this tier lives in
 :mod:`repro.workloads.fleet`; the scaling benchmark in
@@ -28,6 +31,7 @@ The client-fleet simulator that drives this tier lives in
 from repro.service.bloom import BloomFilter, ShardBloomIndex
 from repro.service.cache import CachedQueryEngine, CacheStats, LRUCache
 from repro.service.gateway import GatewayStats, IngestGateway
+from repro.service.http_frontend import ProvenanceFrontend
 from repro.service.sharding import ShardRouter
 from repro.service.supervisor import Supervisor, SupervisorConfig
 
@@ -38,6 +42,7 @@ __all__ = [
     "GatewayStats",
     "IngestGateway",
     "LRUCache",
+    "ProvenanceFrontend",
     "ShardBloomIndex",
     "ShardRouter",
     "Supervisor",

@@ -1,0 +1,216 @@
+"""End-to-end tests for the JSON/HTTP ingest-and-query front end.
+
+A real :mod:`http.server` instance binds a loopback port (port 0, so the
+kernel picks a free one) and a stdlib ``urllib`` client drives the full
+paper workflow over the wire: ingest a small provenance graph, flush the
+gateway window, settle the virtual clock, then answer Q1-Q4 and a raw
+select.  Parametrized over both backends — the HTTP surface is the same
+thin marshalling layer either way.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cloud.account import CloudAccount
+from repro.service import ProvenanceFrontend
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture(params=["sim", "local"])
+def frontend(request):
+    front = ProvenanceFrontend(
+        account=CloudAccount(seed=11, backend=request.param)
+    )
+    host, port = front.start()
+    base = f"http://{host}:{port}"
+    yield front, base
+    front.stop()
+    front.account.close()
+
+
+def _ingest_small_graph(base):
+    """One process (blastall) with one output file and one grandchild."""
+    _post(base, "/v1/ingest", {
+        "client_id": "c0",
+        "path": "/mnt/pass/blastall",
+        "uuid": "proc-1",
+        "version": 0,
+        "data": "#!ELF",
+        "attributes": {"type": ["proc"], "name": ["blastall"]},
+    })
+    _post(base, "/v1/ingest", {
+        "client_id": "c0",
+        "path": "/mnt/pass/out.fasta",
+        "uuid": "file-1",
+        "version": 0,
+        "data": "ACGT",
+        "attributes": {
+            "type": ["file"],
+            "name": ["out.fasta"],
+            "input": ["proc-1_0"],
+        },
+    })
+    _post(base, "/v1/ingest", {
+        "client_id": "c1",
+        "path": "/mnt/pass/summary.txt",
+        "uuid": "file-2",
+        "version": 0,
+        "data": "4 bases",
+        "attributes": {
+            "type": ["file"],
+            "name": ["summary.txt"],
+            "input": ["file-1_0"],
+        },
+    })
+    flushed = _post(base, "/v1/flush", {})
+    assert flushed["requests"] >= 1
+    settled = _post(base, "/v1/settle", {"seconds": 120.0})
+    assert settled["virtual_now"] > 0.0
+
+
+class TestLifecycle:
+    def test_healthz_reports_backend_and_clock(self, frontend):
+        front, base = frontend
+        health = _get(base, "/healthz")
+        assert health["status"] == "ok"
+        assert health["backend"] == front.account.backend
+        assert health["virtual_now"] == front.account.now
+
+    def test_start_is_idempotent(self, frontend):
+        front, base = frontend
+        assert front.start() == front.address
+
+    def test_stats_counts_pending_and_operations(self, frontend):
+        front, base = frontend
+        before = _get(base, "/v1/stats")
+        _post(base, "/v1/ingest", {
+            "client_id": "c0",
+            "path": "/mnt/pass/a",
+            "uuid": "u-1",
+            "attributes": {"type": ["file"]},
+        })
+        during = _get(base, "/v1/stats")
+        assert during["pending"] == before["pending"] + 1
+        _post(base, "/v1/flush", {})
+        after = _get(base, "/v1/stats")
+        assert after["pending"] == 0
+        assert after["operations"] > before["operations"]
+
+
+class TestIngestAndQuery:
+    def test_full_workflow_q1_to_q4(self, frontend):
+        front, base = frontend
+        _ingest_small_graph(base)
+
+        q1 = _post(base, "/v1/query", {"query": "q1"})
+        assert set(q1["answer"]) == {"proc-1_0", "file-1_0", "file-2_0"}
+        assert q1["answer"]["file-1_0"]["input"] == ["proc-1_0"]
+        assert q1["stats"]["operations"] >= 1
+
+        q2 = _post(
+            base, "/v1/query", {"query": "q2", "arg": "/mnt/pass/out.fasta"}
+        )
+        assert q2["answer"]["name"] == ["out.fasta"]
+        assert q2["answer"]["input"] == ["proc-1_0"]
+
+        q3 = _post(base, "/v1/query", {"query": "q3", "arg": "blastall"})
+        assert q3["answer"] == ["file-1_0"]
+
+        q4 = _post(base, "/v1/query", {"query": "q4", "arg": "blastall"})
+        assert q4["answer"] == ["file-1_0", "file-2_0"]
+
+    def test_select_over_http(self, frontend):
+        front, base = frontend
+        _ingest_small_graph(base)
+        rows = _post(base, "/v1/select", {
+            "expression": "select * from `pass-prov` where type = 'proc'",
+        })["rows"]
+        assert len(rows) == 1
+        item, attributes = rows[0]
+        assert attributes["name"] == ["blastall"]
+
+    def test_answers_identical_across_backends(self):
+        """The differential property, through the HTTP surface itself."""
+        answers = {}
+        for backend in ("sim", "local"):
+            front = ProvenanceFrontend(
+                account=CloudAccount(seed=11, backend=backend)
+            )
+            host, port = front.start()
+            base = f"http://{host}:{port}"
+            _ingest_small_graph(base)
+            answers[backend] = (
+                _post(base, "/v1/query", {"query": "q1"})["answer"],
+                _post(base, "/v1/query", {"query": "q4", "arg": "blastall"}),
+                _post(base, "/v1/select", {
+                    "expression": "select * from `pass-prov`",
+                })["rows"],
+                _get(base, "/v1/stats")["cost_usd"],
+            )
+            front.stop()
+            front.account.close()
+        assert answers["sim"] == answers["local"]
+
+
+class TestErrorHandling:
+    def _status(self, base, path, payload):
+        try:
+            _post(base, path, payload)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+        return 200, None
+
+    def test_unknown_endpoint_is_404(self, frontend):
+        front, base = frontend
+        status, body = self._status(base, "/v1/nope", {})
+        assert status == 404
+        assert "no such endpoint" in body["error"]
+
+    def test_missing_field_is_400(self, frontend):
+        front, base = frontend
+        status, body = self._status(base, "/v1/ingest", {"client_id": "c0"})
+        assert status == 400
+        assert "KeyError" in body["error"]
+
+    def test_unknown_query_is_400(self, frontend):
+        front, base = frontend
+        status, body = self._status(base, "/v1/query", {"query": "q9"})
+        assert status == 400
+        assert "q1-q4" in body["error"]
+
+    def test_bad_select_is_400(self, frontend):
+        front, base = frontend
+        status, body = self._status(
+            base, "/v1/select", {"expression": "not a select"}
+        )
+        assert status == 400
+
+    def test_invalid_json_body_is_400(self, frontend):
+        front, base = frontend
+        request = urllib.request.Request(
+            base + "/v1/flush",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400

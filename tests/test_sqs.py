@@ -134,6 +134,56 @@ class TestChangeVisibility:
         sqs.change_visibility(queue, message.receipt_handle, 0.0)
         assert strict_account.billing.operation_count() == ops_before + 1
 
+    def test_expired_lease_handback_does_not_clobber_next_consumer(
+        self, strict_account, queue
+    ):
+        """Regression: consumer A's lease lapses, consumer B re-receives
+        the message, then A's retiring ChangeVisibility(0) arrives with
+        the stale handle.  B's live lease must survive."""
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        a = sqs.receive_messages(queue, visibility_timeout=10.0)[0]
+        strict_account.clock.advance(20.0)  # A's lease expires
+        b = sqs.receive_messages(queue, visibility_timeout=300.0)[0]
+        assert b.receipt_handle != a.receipt_handle
+        sqs.change_visibility(queue, a.receipt_handle, 0.0)  # late handback
+        # B still holds the message: nothing is available.
+        assert sqs.receive_messages(queue) == []
+        # B's handle still deletes it.
+        sqs.delete_message(queue, b.receipt_handle)
+        assert sqs.pending_count(queue) == 0
+
+    def test_expired_lease_change_cannot_rehide_the_message(
+        self, strict_account, queue
+    ):
+        """Regression: once the lease has lapsed the message belongs to
+        the queue again; a late ChangeVisibility(60) with the old handle
+        must not hide it from the next consumer (but still bills)."""
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        stale = sqs.receive_messages(queue, visibility_timeout=10.0)[0]
+        strict_account.clock.advance(20.0)  # lease expires, nobody re-received
+        ops_before = strict_account.billing.operation_count()
+        sqs.change_visibility(queue, stale.receipt_handle, 60.0)
+        assert strict_account.billing.operation_count() == ops_before + 1
+        # No clock advance: the message must be immediately receivable.
+        assert [m.body for m in sqs.receive_messages(queue)] == ["m"]
+
+    def test_timeout_zero_on_expired_lease_is_noop(self, strict_account, queue):
+        """The ISSUE's exact edge: ChangeMessageVisibility(timeout=0) on
+        an already-expired lease changes nothing — the message is
+        available before and after, under the queue's own ownership."""
+        sqs = strict_account.sqs
+        sqs.send_message(queue, "m")
+        stale = sqs.receive_messages(queue, visibility_timeout=5.0)[0]
+        strict_account.clock.advance(10.0)
+        before = sqs.pending_count(queue)
+        sqs.change_visibility(queue, stale.receipt_handle, 0.0)
+        assert sqs.pending_count(queue) == before
+        redelivered = sqs.receive_messages(queue)
+        assert [m.message_id for m in redelivered] == [stale.message_id]
+        assert redelivered[0].receipt_handle != stale.receipt_handle
+
 
 class TestRetention:
     def test_messages_expire_after_four_days(self, strict_account, queue):

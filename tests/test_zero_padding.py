@@ -1,0 +1,162 @@
+"""The select grammar's zero-padding caveat, pinned on both backends.
+
+SimpleDB compares every value lexicographically (§4.3.2): range queries
+over numbers are only correct when the numbers are stored zero-padded
+to fixed width.  The protocols honour this (versions and mtimes are
+written padded); the grammar documents it; this battery is the test
+that actually holds it down:
+
+- padded ``version``/``mtime`` range queries (``between``, ``>=``,
+  ``<=``, and their compositions) return exactly the rows a Python
+  full scan predicts, with the indexed planner and the
+  ``use_indexes=False`` scan agreeing row for row,
+- the same expressions return byte-identical rows, ordering, and
+  billing on the simulated and local-sqlite backends,
+- the caveat itself is real: the same ranges over an *unpadded* copy of
+  the attribute drop/add rows exactly where lexicographic order diverges
+  from numeric order (``"10" < "2"``).
+"""
+
+import pytest
+
+from repro.cloud.account import CloudAccount
+
+DOMAIN = "zp"
+
+#: (item name, numeric version, numeric mtime) — versions cross the
+#: 1→2-digit and 2→3-digit boundaries where lexicographic order breaks.
+ROWS = [(f"it{i:03d}", i, 100 + 37 * i) for i in range(0, 130, 3)]
+
+PAD_QUERIES = [
+    "select * from zp where version between '0010' and '0100'",
+    "select * from zp where version >= '0021' and version <= '0063'",
+    "select * from zp where mtime between '000100' and '000999'",
+    "select * from zp where mtime >= '001000'",
+    "select * from zp where version > '0009' and mtime < '003000'",
+    "select * from zp where version <= '0030' or version >= '0120'",
+]
+
+
+def _populate(account):
+    sdb = account.simpledb
+    sdb.create_domain(DOMAIN)
+    items = []
+    for name, version, mtime in ROWS:
+        items.append(
+            (
+                name,
+                [
+                    ("version", f"{version:04d}"),
+                    ("rawver", str(version)),
+                    ("mtime", f"{mtime:06d}"),
+                    ("type", "file"),
+                ],
+            )
+        )
+    for start in range(0, len(items), 25):
+        sdb.batch_put(DOMAIN, items[start : start + 25])
+    account.settle(120.0)
+    return sdb
+
+
+def _indexed_and_scan(account, sdb, expression):
+    sdb.use_indexes = True
+    indexed = sdb.select(expression)
+    sdb.use_indexes = False
+    scanned = sdb.select(expression)
+    sdb.use_indexes = True
+    assert indexed == scanned, expression
+    return indexed
+
+
+@pytest.fixture(params=["sim", "local"])
+def padded_account(request):
+    account = CloudAccount(seed=77, backend=request.param)
+    yield account
+    account.close()
+
+
+class TestPaddedRangesAgreeWithScan:
+    @pytest.mark.parametrize("expression", PAD_QUERIES)
+    def test_padded_query_matches_python_scan(self, padded_account, expression):
+        sdb = _populate(padded_account)
+        rows = _indexed_and_scan(padded_account, sdb, expression)
+        got = {name for name, _ in rows}
+        # Reference semantics: evaluate the same ranges numerically.
+        def keep(version, mtime):
+            checks = {
+                PAD_QUERIES[0]: 10 <= version <= 100,
+                PAD_QUERIES[1]: 21 <= version <= 63,
+                PAD_QUERIES[2]: 100 <= mtime <= 999,
+                PAD_QUERIES[3]: mtime >= 1000,
+                PAD_QUERIES[4]: version > 9 and mtime < 3000,
+                PAD_QUERIES[5]: version <= 30 or version >= 120,
+            }
+            return checks[expression]
+
+        expected = {name for name, v, m in ROWS if keep(v, m)}
+        assert got == expected, expression
+
+    def test_rows_come_back_in_item_name_order(self, padded_account):
+        sdb = _populate(padded_account)
+        rows = _indexed_and_scan(
+            padded_account, sdb, PAD_QUERIES[0]
+        )
+        names = [name for name, _ in rows]
+        assert names == sorted(names)
+
+
+class TestCrossBackendAgreement:
+    def test_padded_queries_identical_sim_vs_local(self):
+        fingerprints = {}
+        for backend in ("sim", "local"):
+            account = CloudAccount(seed=77, backend=backend)
+            sdb = _populate(account)
+            per_query = []
+            for expression in PAD_QUERIES:
+                ops_before = account.billing.operation_count()
+                bytes_before = account.billing.bytes_received()
+                rows = sdb.select(expression)
+                per_query.append(
+                    (
+                        expression,
+                        repr(rows),
+                        account.billing.operation_count() - ops_before,
+                        account.billing.bytes_received() - bytes_before,
+                    )
+                )
+            fingerprints[backend] = per_query
+            account.close()
+        assert fingerprints["sim"] == fingerprints["local"]
+
+
+class TestTheCaveatIsReal:
+    def test_unpadded_ranges_follow_lexicographic_order(self, padded_account):
+        """The documented failure mode: over the unpadded copy of the
+        same numbers, '10' < '2', so numeric ranges break — identically
+        on both backends, identically indexed and scanned."""
+        sdb = _populate(padded_account)
+        expression = "select * from zp where rawver between '10' and '2'"
+        rows = _indexed_and_scan(padded_account, sdb, expression)
+        got = {name for name, _ in rows}
+        expected = {
+            name for name, v, _ in ROWS if "10" <= str(v) <= "2"
+        }
+        assert got == expected
+        # The lexicographic window really is numerically wrong: it holds
+        # 10..199 and 2 but excludes 3..9 — the caveat the padded
+        # queries above never hit.
+        assert "it012" in got and "it102" in got  # 12, 102 lex-inside
+        assert "it003" not in got and "it009" not in got  # 3, 9 lex-outside
+        numeric = {name for name, v, _ in ROWS if 2 <= v <= 10}
+        assert got != numeric
+
+    def test_padding_restores_numeric_semantics(self, padded_account):
+        sdb = _populate(padded_account)
+        rows = _indexed_and_scan(
+            padded_account,
+            sdb,
+            "select * from zp where version between '0002' and '0010'",
+        )
+        got = {name for name, _ in rows}
+        assert got == {name for name, v, _ in ROWS if 2 <= v <= 10}
