@@ -11,7 +11,10 @@ for equality/prefix/IN selects.
 ``REPRO_SELECT_SCALING_SIZES`` (comma-separated item counts) overrides
 the swept domain sizes — CI's perf-smoke job runs a small sweep on every
 push; the default sweep ends at 100k items where the acceptance floor is
-a ≥5x speedup.
+a ≥5x speedup.  The opt-in nightly job sets ``100000,1000000`` to push
+the sweep to a million items, where the array-backed index store's
+``memory_bytes_per_item`` series must chart strictly below the legacy
+dict-of-sets baseline.
 """
 
 import os
@@ -60,3 +63,16 @@ def test_select_scaling(once, benchmark):
         for query in ("equality", "prefix"):
             cell = top.cell(query)
             assert cell.speedup >= 5.0, (query, cell.speedup)
+
+    # The memory series is charted at every size; from 100k items up the
+    # array-backed store must sit strictly below the legacy dict-of-sets
+    # baseline on the same data (the 1M nightly sweeps the full gap).
+    for point in result.points:
+        assert point.index_memory_bytes > 0
+        assert point.legacy_index_memory_bytes > 0
+        if point.items >= 100_000:
+            assert point.index_memory_bytes < point.legacy_index_memory_bytes, (
+                point.items,
+                point.memory_bytes_per_item,
+                point.legacy_memory_bytes_per_item,
+            )

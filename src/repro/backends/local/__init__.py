@@ -55,6 +55,7 @@ def build_local_services(
     seed: int,
     telemetry=None,
     root: Optional[str] = None,
+    index_store: str = "array",
 ):
     from repro.backends import BackendServices, _engines
 
@@ -83,6 +84,7 @@ def build_local_services(
             billing,
             sdb_engine,
             telemetry=telemetry,
+            index_store=index_store,
             conn=tables_conn,
         ),
         sqs=LocalSQSService(

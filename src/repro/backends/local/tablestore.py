@@ -24,7 +24,6 @@ reach an answer.
 
 from __future__ import annotations
 
-import bisect
 import json
 import sqlite3
 from typing import Iterator, List, Optional, Tuple
@@ -37,7 +36,11 @@ from repro.cloud.consistency import (
 )
 from repro.cloud.network import ParallelScheduler
 from repro.cloud.profiles import ServiceProfile
-from repro.cloud.simpledb import ItemAttributes, SimpleDBService, _DomainState
+from repro.cloud.simpledb import (
+    ItemAttributes,
+    SimpleDBService,
+    _DomainStateBase,
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS sdb_domains (
@@ -207,6 +210,7 @@ class LocalSimpleDBService(SimpleDBService):
         consistency: Optional[ConsistencyEngine] = None,
         use_indexes: bool = True,
         telemetry=None,
+        index_store: str = "array",
         *,
         conn: sqlite3.Connection,
     ):
@@ -219,6 +223,7 @@ class LocalSimpleDBService(SimpleDBService):
             consistency,
             use_indexes=use_indexes,
             telemetry=telemetry,
+            index_store=index_store,
         )
         # Reopening an existing database: resurrect its domains (and
         # rebuild their derived in-memory indexes from the stored rows).
@@ -228,7 +233,7 @@ class LocalSimpleDBService(SimpleDBService):
     def create_domain(self, domain: str) -> None:
         if domain in self._domains:
             return
-        state = _DomainState()
+        state = self._new_domain_state()
         state.registry = SqliteRegistry(self._conn, domain)
         self._domains[domain] = state
         self._conn.execute(
@@ -236,7 +241,7 @@ class LocalSimpleDBService(SimpleDBService):
         )
         self._rebuild_indexes(domain, state)
 
-    def _rebuild_indexes(self, domain: str, state: _DomainState) -> None:
+    def _rebuild_indexes(self, domain: str, state: _DomainStateBase) -> None:
         """Replay the stored versions into the derived secondary indexes.
 
         The rebuilt index over-approximates — it records every pair any
@@ -252,7 +257,7 @@ class LocalSimpleDBService(SimpleDBService):
         for item, attrs_text in rows:
             if item not in seen:
                 seen.add(item)
-                bisect.insort(state.names, item)
+                state.add_name(item)
             attrs = _decode_attrs(attrs_text) or {}
             state.note_pairs(
                 item, [(a, v) for a, values in attrs.items() for v in values]

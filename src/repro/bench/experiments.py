@@ -1180,12 +1180,28 @@ class SelectScalingCell:
 class SelectScalingPoint:
     items: int
     cells: List[SelectScalingCell]
+    #: ``sdb.index.memory_bytes`` of the built domain (the array-backed
+    #: store the account runs on).
+    index_memory_bytes: int = 0
+    #: The same items replayed into the legacy dict-of-sets substrate —
+    #: the memory baseline the array store is charted against.
+    legacy_index_memory_bytes: int = 0
 
     def cell(self, query: str) -> SelectScalingCell:
         for cell in self.cells:
             if cell.query == query:
                 return cell
         raise KeyError(query)
+
+    @property
+    def memory_bytes_per_item(self) -> float:
+        return self.index_memory_bytes / self.items if self.items else 0.0
+
+    @property
+    def legacy_memory_bytes_per_item(self) -> float:
+        return (
+            self.legacy_index_memory_bytes / self.items if self.items else 0.0
+        )
 
 
 @dataclass
@@ -1214,13 +1230,34 @@ class SelectScalingResult:
                         "yes" if cell.identical else "NO",
                     )
                 )
-        return render_table(
+        table = render_table(
             (
                 "Items", "Query", "Rows", "Idx (ms)", "Scan (ms)",
                 "Speedup", "Reqs", "Indexed", "Identical",
             ),
             rows,
             title=self.title,
+        )
+        memory_rows = [
+            (
+                point.items,
+                point.index_memory_bytes,
+                f"{point.memory_bytes_per_item:.1f}",
+                point.legacy_index_memory_bytes,
+                f"{point.legacy_memory_bytes_per_item:.1f}",
+            )
+            for point in self.points
+            if point.index_memory_bytes
+        ]
+        if not memory_rows:
+            return table
+        return table + "\n" + render_table(
+            (
+                "Items", "Array (B)", "Array B/item",
+                "Legacy (B)", "Legacy B/item",
+            ),
+            memory_rows,
+            title="Index memory: array-backed store vs legacy dict-of-sets",
         )
 
     def as_json(self) -> Dict[str, object]:
@@ -1229,6 +1266,14 @@ class SelectScalingResult:
             "points": [
                 {
                     "items": point.items,
+                    "index_memory_bytes": point.index_memory_bytes,
+                    "memory_bytes_per_item": point.memory_bytes_per_item,
+                    "legacy_index_memory_bytes": (
+                        point.legacy_index_memory_bytes
+                    ),
+                    "legacy_memory_bytes_per_item": (
+                        point.legacy_memory_bytes_per_item
+                    ),
                     "cells": [
                         {
                             "query": cell.query,
@@ -1317,6 +1362,25 @@ def _sweep_select_modes(
         account.scheduler.execute_batch(requests, 40)
         account.settle(120.0)
 
+        # Memory series: the live (array-backed) index footprint, and
+        # the same pairs replayed into a bare legacy dict-of-sets state
+        # as the baseline.  The replay interns pairs exactly as
+        # ``_merge_item`` does, so both substrates share string objects
+        # and the gap charted is structural, not interning luck.
+        from repro.cloud.simpledb import _LegacyDomainState
+        import sys as _sys
+
+        index_memory = sdb.index_memory_bytes()
+        legacy_state = _LegacyDomainState()
+        for name, pairs in items:
+            legacy_state.add_name(name)
+            legacy_state.note_pairs(
+                name,
+                [(_sys.intern(a), _sys.intern(v)) for a, v in pairs],
+            )
+        legacy_memory = legacy_state.memory_bytes()
+        del legacy_state
+
         cells: List[SelectScalingCell] = []
         for query_name, expression in query_builder("bench"):
             per_mode: Dict[bool, Tuple[list, float, int, int]] = {}
@@ -1378,7 +1442,14 @@ def _sweep_select_modes(
                     used_index=used_index,
                 )
             )
-        points.append(SelectScalingPoint(items=count, cells=cells))
+        points.append(
+            SelectScalingPoint(
+                items=count,
+                cells=cells,
+                index_memory_bytes=index_memory,
+                legacy_index_memory_bytes=legacy_memory,
+            )
+        )
     return SelectScalingResult(
         points=points,
         repeats=repeats,

@@ -47,6 +47,7 @@ from __future__ import annotations
 import bisect
 import re
 import sys
+from array import array
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -361,8 +362,271 @@ def prepare_select(expression: str) -> PreparedSelect:
 # Per-domain state: the registry plus incrementally maintained indexes
 # --------------------------------------------------------------------------
 
-class _DomainState:
-    """One domain's item registry and its secondary indexes.
+#: Tail size at which a two-tier run folds its mutable tail into the
+#: sorted main run.  Small enough that an out-of-order ``insort`` into
+#: the tail stays cheap, large enough that merges amortize; in-order
+#: arrivals (the common provenance pattern — item names and interned
+#: ids are both assigned in increasing order) bypass the tail entirely
+#: and append straight to the main run.
+_TAIL_MERGE_THRESHOLD = 2048
+
+
+def _range_slice(
+    ordered: Sequence[str],
+    low: Optional[str],
+    high: Optional[str],
+    incl_low: bool,
+    incl_high: bool,
+) -> Tuple[int, int]:
+    """Binary-searched ``[start, stop)`` indices of a lexicographic
+    range over a sorted sequence (``None`` bound = unbounded)."""
+    start = 0
+    if low is not None:
+        start = (
+            bisect.bisect_left(ordered, low)
+            if incl_low
+            else bisect.bisect_right(ordered, low)
+        )
+    stop = len(ordered)
+    if high is not None:
+        stop = (
+            bisect.bisect_right(ordered, high)
+            if incl_high
+            else bisect.bisect_left(ordered, high)
+        )
+    return start, max(start, stop)
+
+
+class _StringTable:
+    """Interning id table: one uint32 id per distinct string, assigned
+    in first-seen order.  Posting lists store the 4-byte ids instead of
+    8-byte object pointers, and because first-seen order is monotone,
+    fresh items append to the end of their sorted posting runs."""
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._strings: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def intern(self, text: str) -> int:
+        ident = self._ids.get(text)
+        if ident is None:
+            ident = len(self._strings)
+            self._ids[text] = ident
+            self._strings.append(text)
+        return ident
+
+    def id_of(self, text: str) -> Optional[int]:
+        return self._ids.get(text)
+
+    def string(self, ident: int) -> str:
+        return self._strings[ident]
+
+    @property
+    def strings(self) -> List[str]:
+        return self._strings
+
+    def memory_bytes(self) -> int:
+        # Containers plus the boxed id ints; the strings themselves are
+        # charged once by the caller (they are shared with the sorted
+        # name run and the registry keys).
+        total = sys.getsizeof(self._ids) + sys.getsizeof(self._strings)
+        total += sum(sys.getsizeof(i) for i in self._ids.values())
+        return total
+
+
+class _SortedIdRun:
+    """Two-tier sorted run of uint32 string ids with set semantics.
+
+    The sorted ``main`` run is an ``array('I')``; out-of-order inserts
+    go to a small sorted ``tail`` array that is merged into the main
+    run once it reaches :data:`_TAIL_MERGE_THRESHOLD`.  In-order
+    inserts (ids larger than everything seen — the common case, since
+    ids are assigned in first-write order) append directly to the main
+    run in O(1) and never allocate a tail; membership tests bisect
+    both tiers, so inserts amortize to O(log n) instead of the O(n)
+    element shifts of ``bisect.insort`` into one flat structure."""
+
+    _THRESHOLD = _TAIL_MERGE_THRESHOLD
+
+    __slots__ = ("main", "tail")
+
+    def __init__(self) -> None:
+        self.main = array("I")
+        self.tail: Optional[array] = None
+
+    def __len__(self) -> int:
+        return len(self.main) + (len(self.tail) if self.tail is not None else 0)
+
+    def __iter__(self):
+        # Unordered across tiers — posting consumers build sets.
+        yield from self.main
+        if self.tail is not None:
+            yield from self.tail
+
+    def __contains__(self, ident: int) -> bool:
+        main = self.main
+        index = bisect.bisect_left(main, ident)
+        if index < len(main) and main[index] == ident:
+            return True
+        tail = self.tail
+        if tail is None:
+            return False
+        index = bisect.bisect_left(tail, ident)
+        return index < len(tail) and tail[index] == ident
+
+    def add(self, ident: int) -> bool:
+        """Insert ``ident`` if absent; returns True when newly added."""
+        main = self.main
+        tail = self.tail
+        if tail is None and (not main or ident > main[-1]):
+            main.append(ident)
+            return True
+        if ident in self:
+            return False
+        if tail is None:
+            tail = self.tail = array("I")
+        if not tail or ident > tail[-1]:
+            tail.append(ident)
+        else:
+            tail.insert(bisect.bisect_left(tail, ident), ident)
+        if len(tail) >= self._THRESHOLD:
+            self._merge_tail()
+        return True
+
+    def discard(self, ident: int) -> bool:
+        """Remove ``ident`` if present; returns True when removed."""
+        main = self.main
+        index = bisect.bisect_left(main, ident)
+        if index < len(main) and main[index] == ident:
+            del main[index]
+            return True
+        tail = self.tail
+        if tail is None:
+            return False
+        index = bisect.bisect_left(tail, ident)
+        if index < len(tail) and tail[index] == ident:
+            del tail[index]
+            if not tail:
+                self.tail = None
+            return True
+        return False
+
+    def _merge_tail(self) -> None:
+        tail = self.tail
+        if tail:
+            main = self.main
+            if main and tail[0] < main[-1]:
+                # General merge: Timsort sees two sorted runs and
+                # gallops through them in C.
+                merged = list(main)
+                merged.extend(tail)
+                merged.sort()
+                self.main = array("I", merged)
+            else:
+                main.extend(tail)
+        self.tail = None
+
+    def memory_bytes(self) -> int:
+        total = sys.getsizeof(self.main)
+        if self.tail is not None:
+            total += sys.getsizeof(self.tail)
+        return total
+
+
+class _SortedStringRun:
+    """Two-tier sorted run of unique strings (callers guarantee
+    uniqueness — the registry guards item names, the per-attribute
+    value dict guards distinct values).  Same shape as
+    :class:`_SortedIdRun`: in-order inserts append to the sorted main
+    list, out-of-order inserts land in a small sorted tail merged at
+    the threshold.  Readers call :meth:`ordered`, which folds any tail
+    in first — reads are rarer than writes at ingest scale, and a fold
+    after ≤ threshold tail inserts is one two-run Timsort merge."""
+
+    _THRESHOLD = _TAIL_MERGE_THRESHOLD
+
+    __slots__ = ("_main", "_tail")
+
+    def __init__(self) -> None:
+        self._main: List[str] = []
+        self._tail: Optional[List[str]] = None
+
+    def __len__(self) -> int:
+        return len(self._main) + (len(self._tail) if self._tail is not None else 0)
+
+    def __iter__(self):
+        return iter(self.ordered())
+
+    def add(self, text: str) -> None:
+        main = self._main
+        tail = self._tail
+        if tail is None:
+            if not main or text > main[-1]:
+                main.append(text)
+                return
+            tail = self._tail = []
+        if not tail or text > tail[-1]:
+            tail.append(text)
+        else:
+            bisect.insort(tail, text)
+        if len(tail) >= self._THRESHOLD:
+            self._fold_tail()
+        return
+
+    def discard(self, text: str) -> bool:
+        main = self._main
+        index = bisect.bisect_left(main, text)
+        if index < len(main) and main[index] == text:
+            del main[index]
+            return True
+        tail = self._tail
+        if tail is None:
+            return False
+        index = bisect.bisect_left(tail, text)
+        if index < len(tail) and tail[index] == text:
+            del tail[index]
+            if not tail:
+                self._tail = None
+            return True
+        return False
+
+    def _fold_tail(self) -> None:
+        tail = self._tail
+        if tail:
+            main = self._main
+            if main and tail[0] < main[-1]:
+                main.extend(tail)
+                main.sort()
+            else:
+                main.extend(tail)
+        self._tail = None
+
+    def ordered(self) -> List[str]:
+        """The fully merged sorted list (folds any tail in first).
+        Callers must treat it as read-only."""
+        if self._tail is not None:
+            self._fold_tail()
+        return self._main
+
+    def memory_bytes(self, count_strings: bool = False) -> int:
+        total = sys.getsizeof(self._main)
+        if self._tail is not None:
+            total += sys.getsizeof(self._tail)
+        if count_strings:
+            total += sum(sys.getsizeof(text) for text in self._main)
+            if self._tail is not None:
+                total += sum(sys.getsizeof(text) for text in self._tail)
+        return total
+
+
+class _DomainStateBase:
+    """One domain's item registry, secondary indexes, and selectivity
+    bookkeeping — the storage-agnostic half.
 
     The indexes are *over-approximations* maintained on every write: they
     record every attribute-value pair an item has ever held (``replace``
@@ -380,13 +644,17 @@ class _DomainState:
     value, and pruning the entry then would make the indexed path miss a
     row the scan still finds.  A re-put of the same pair cancels the
     pending removal.
+
+    Two concrete stores implement the substrate: the array-backed
+    :class:`_ArrayDomainState` (the default — string-id posting arrays
+    and two-tier sorted runs, built for million-item domains) and the
+    dict-of-sets :class:`_LegacyDomainState` it replaced, kept
+    selectable (``SimpleDBService(index_store="legacy")``) as the
+    equivalence and memory baseline.
     """
 
     __slots__ = (
         "registry",
-        "names",
-        "by_attr",
-        "sorted_values",
         "pending_unindex",
         "attr_postings",
         "set_size_hist",
@@ -394,18 +662,6 @@ class _DomainState:
 
     def __init__(self) -> None:
         self.registry: Dict[str, VersionedRegister[ItemAttributes]] = {}
-        #: Every item name ever written, kept sorted incrementally
-        #: (``bisect.insort`` on first insert) — select page order,
-        #: ``itemName() like 'prefix%'`` ranges, and ``itemName()``
-        #: ordered comparisons read straight off it.
-        self.names: List[str] = []
-        #: attribute -> value -> set of item names that ever held it.
-        self.by_attr: Dict[str, Dict[str, Set[str]]] = {}
-        #: attribute -> its distinct values in sorted order
-        #: (``bisect.insort`` on first sighting) — ordered comparisons
-        #: and ``BETWEEN`` narrow to a value range by binary search, then
-        #: union the hash-index name sets of the values in range.
-        self.sorted_values: Dict[str, List[str]] = {}
         #: (attribute, value, item name) -> virtual time at which the
         #: entry may be pruned (the deleting write's visibility time).
         self.pending_unindex: Dict[Tuple[str, str, str], float] = {}
@@ -413,46 +669,76 @@ class _DomainState:
         #: sizes), maintained incrementally — with the distinct-value
         #: count this gives the mean set size the cost model estimates
         #: range walks with, without touching the sets at plan time.
+        #: Entries are popped when they reach zero; a stored count is
+        #: always positive.
         self.attr_postings: Dict[str, int] = {}
         #: attribute -> log2-bucketed histogram of its value-set sizes
         #: (bucket = ``size.bit_length()``: sizes 1, 2–3, 4–7, ...).
         #: A skew diagnostic for :meth:`SimpleDBService.selectivity` —
         #: a uniform attribute has one hot bucket, a Zipfian one a tail.
+        #: Bucket counts are popped at zero and the inner dict is popped
+        #: when empty, so the histogram never leaks dead buckets and a
+        #: stored count is always positive.
         self.set_size_hist: Dict[str, Dict[int, int]] = {}
 
-    def note_item(self, name: str) -> None:
-        if name not in self.registry:
-            bisect.insort(self.names, name)
+    # -- shared selectivity bookkeeping --------------------------------------
 
     def _note_set_resize(self, attribute: str, old: int, new: int) -> None:
-        hist = self.set_size_hist.setdefault(attribute, {})
-        if old:
+        """Move one value set's histogram entry from bucket(``old``) to
+        bucket(``new``).  Decrements are guarded: a decrement may only
+        consume a positive stored count (an absent bucket is never
+        driven negative — it is left absent), counts are popped at
+        zero, and an inner dict emptied by its last pop is removed from
+        ``set_size_hist`` rather than leaking as ``{}`` forever."""
+        hist = self.set_size_hist.get(attribute)
+        if hist is None:
+            if not new:
+                return
+            hist = self.set_size_hist[attribute] = {}
+        if old > 0:
             bucket = old.bit_length()
             remaining = hist.get(bucket, 0) - 1
             if remaining > 0:
                 hist[bucket] = remaining
             else:
                 hist.pop(bucket, None)
-        if new:
+        if new > 0:
             bucket = new.bit_length()
             hist[bucket] = hist.get(bucket, 0) + 1
+        if not hist:
+            self.set_size_hist.pop(attribute, None)
 
-    def note_pairs(self, name: str, pairs: Sequence[Tuple[str, str]]) -> None:
-        for attribute, value in pairs:
-            values = self.by_attr.setdefault(attribute, {})
-            if value not in values:
-                values[value] = set()
-                bisect.insort(self.sorted_values.setdefault(attribute, []), value)
-            names = values[value]
-            if name not in names:
-                before = len(names)
-                names.add(name)
-                self.attr_postings[attribute] = (
-                    self.attr_postings.get(attribute, 0) + 1
-                )
-                self._note_set_resize(attribute, before, before + 1)
-            # A re-put beats any queued removal: the pair is live again.
-            self.pending_unindex.pop((attribute, value, name), None)
+    def _note_posting_added(self, attribute: str) -> None:
+        self.attr_postings[attribute] = self.attr_postings.get(attribute, 0) + 1
+
+    def _note_posting_removed(self, attribute: str) -> None:
+        remaining = self.attr_postings.get(attribute, 0) - 1
+        if remaining > 0:
+            self.attr_postings[attribute] = remaining
+        else:
+            # Guarded like the histogram: the count is popped at zero
+            # and an unmatched decrement can never store a negative.
+            self.attr_postings.pop(attribute, None)
+
+    def recount_stats(
+        self,
+    ) -> Tuple[Dict[str, int], Dict[str, Dict[int, int]]]:
+        """From-scratch recount of ``attr_postings``/``set_size_hist``
+        off the live index sets — the invariant the property tests pin
+        the incremental bookkeeping against after arbitrary put/delete/
+        select interleavings."""
+        postings: Dict[str, int] = {}
+        hist: Dict[str, Dict[int, int]] = {}
+        for attribute, values in self.by_attr.items():
+            for members in values.values():
+                size = len(members)
+                if not size:
+                    continue
+                postings[attribute] = postings.get(attribute, 0) + size
+                inner = hist.setdefault(attribute, {})
+                bucket = size.bit_length()
+                inner[bucket] = inner.get(bucket, 0) + 1
+        return postings, hist
 
     def schedule_unindex(
         self, name: str, pairs: Sequence[Tuple[str, str]], visible_at: float
@@ -464,6 +750,319 @@ class _DomainState:
             queued = self.pending_unindex.get(key)
             if queued is None or visible_at > queued:
                 self.pending_unindex[key] = visible_at
+
+    def note_item(self, name: str) -> None:
+        if name not in self.registry:
+            self.add_name(name)
+
+    # -- interface the planner and service code against ----------------------
+
+    def add_name(self, name: str) -> None:
+        raise NotImplementedError
+
+    def note_pairs(self, name: str, pairs: Sequence[Tuple[str, str]]) -> None:
+        raise NotImplementedError
+
+    def prune_unindexed(self, now: float) -> int:
+        raise NotImplementedError
+
+    def ordered_names(self) -> List[str]:
+        """Every item name ever written, in sorted order (select page
+        order, prefix and ``itemName()`` ranges read off it)."""
+        raise NotImplementedError
+
+    def names_with(self, attribute: str, value: str) -> Set[str]:
+        raise NotImplementedError
+
+    def count_with(self, attribute: str, value: str) -> int:
+        """O(len-read) posting count for one ``attribute = value`` pair
+        — the cost model's estimate probe, no set materialization."""
+        raise NotImplementedError
+
+    def distinct_value_count(self, attribute: str) -> int:
+        raise NotImplementedError
+
+    def ordered_values(self, attribute: str) -> List[str]:
+        raise NotImplementedError
+
+    def count_values_in_range(
+        self,
+        attribute: str,
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+    ) -> int:
+        start, stop = _range_slice(
+            self.ordered_values(attribute), low, high, incl_low, incl_high
+        )
+        return stop - start
+
+    def count_names_with_prefix(self, prefix: str) -> int:
+        names = self.ordered_names()
+        start = bisect.bisect_left(names, prefix)
+        stop = bisect.bisect_right(names, prefix + "\U0010ffff")
+        return max(0, stop - start)
+
+    def count_names_in_range(
+        self,
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+    ) -> int:
+        start, stop = _range_slice(
+            self.ordered_names(), low, high, incl_low, incl_high
+        )
+        return stop - start
+
+    def names_with_prefix(self, prefix: str) -> List[str]:
+        names = self.ordered_names()
+        start = bisect.bisect_left(names, prefix)
+        out: List[str] = []
+        for index in range(start, len(names)):
+            name = names[index]
+            if not name.startswith(prefix):
+                break
+            out.append(name)
+        return out
+
+    def names_in_name_range(
+        self,
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+        limit: Optional[int] = None,
+    ) -> Optional[List[str]]:
+        """Item names inside a lexicographic ``itemName()`` range, read
+        off the sorted name order — or ``None`` when the range spans
+        more than ``limit`` names (the planner's wide-range bailout: a
+        candidate walk over most of the domain is no faster than the
+        scan it replaces)."""
+        names = self.ordered_names()
+        start, stop = _range_slice(names, low, high, incl_low, incl_high)
+        if limit is not None and stop - start > limit:
+            return None
+        return names[start:stop]
+
+    def names_in_value_range(
+        self,
+        attribute: str,
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+        limit: Optional[int] = None,
+    ) -> Optional[Set[str]]:
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        raise NotImplementedError
+
+
+class _ArrayDomainState(_DomainStateBase):
+    """The array-backed index substrate (the default store).
+
+    Item names are interned once into a :class:`_StringTable`; every
+    posting list is a :class:`_SortedIdRun` of 4-byte ids instead of a
+    ``set`` of string pointers; the sorted name order and each
+    attribute's sorted distinct values are :class:`_SortedStringRun`
+    two-tier runs.  Inserts amortize to O(log n) (O(1) for in-order
+    arrivals) where the legacy store paid an O(n) ``bisect.insort``
+    list shift, and per-posting memory drops from a hash-set slot to
+    4 bytes — the difference that makes million-item domains fit."""
+
+    __slots__ = ("strings", "names", "by_attr", "sorted_values")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: The domain's item-name id table (ids in first-write order).
+        self.strings = _StringTable()
+        #: Every item name ever written, sorted (two-tier run).
+        self.names = _SortedStringRun()
+        #: attribute -> value -> sorted id run of item names.
+        self.by_attr: Dict[str, Dict[str, _SortedIdRun]] = {}
+        #: attribute -> its distinct values, sorted (two-tier runs).
+        self.sorted_values: Dict[str, _SortedStringRun] = {}
+
+    def add_name(self, name: str) -> None:
+        self.names.add(name)
+
+    def note_pairs(self, name: str, pairs: Sequence[Tuple[str, str]]) -> None:
+        ident: Optional[int] = None
+        for attribute, value in pairs:
+            values = self.by_attr.setdefault(attribute, {})
+            run = values.get(value)
+            if run is None:
+                run = values[value] = _SortedIdRun()
+                self.sorted_values.setdefault(
+                    attribute, _SortedStringRun()
+                ).add(value)
+            if ident is None:
+                ident = self.strings.intern(name)
+            before = len(run)
+            if run.add(ident):
+                self._note_posting_added(attribute)
+                self._note_set_resize(attribute, before, before + 1)
+            # A re-put beats any queued removal: the pair is live again.
+            self.pending_unindex.pop((attribute, value, name), None)
+
+    def prune_unindexed(self, now: float) -> int:
+        """Apply every queued removal whose delete is fully visible at
+        ``now``.  Returns how many entries were pruned."""
+        if not self.pending_unindex:
+            return 0
+        fired = [
+            key for key, at in self.pending_unindex.items() if at <= now
+        ]
+        for key in fired:
+            del self.pending_unindex[key]
+            attribute, value, name = key
+            values = self.by_attr.get(attribute)
+            if not values:
+                continue
+            run = values.get(value)
+            if run is None:
+                continue
+            ident = self.strings.id_of(name)
+            if ident is not None and run.discard(ident):
+                after = len(run)
+                self._note_posting_removed(attribute)
+                self._note_set_resize(attribute, after + 1, after)
+            if not run:
+                del values[value]
+                ordered = self.sorted_values.get(attribute)
+                if ordered is not None:
+                    ordered.discard(value)
+                if not values:
+                    # Last value gone: drop the attribute's (now empty)
+                    # containers instead of leaking them.
+                    del self.by_attr[attribute]
+                    self.sorted_values.pop(attribute, None)
+        return len(fired)
+
+    def ordered_names(self) -> List[str]:
+        return self.names.ordered()
+
+    def names_with(self, attribute: str, value: str) -> Set[str]:
+        values = self.by_attr.get(attribute)
+        if not values:
+            return set()
+        run = values.get(value)
+        if run is None:
+            return set()
+        string = self.strings.string
+        return {string(ident) for ident in run}
+
+    def count_with(self, attribute: str, value: str) -> int:
+        values = self.by_attr.get(attribute)
+        if not values:
+            return 0
+        run = values.get(value)
+        return len(run) if run is not None else 0
+
+    def distinct_value_count(self, attribute: str) -> int:
+        return len(self.by_attr.get(attribute, {}))
+
+    def ordered_values(self, attribute: str) -> List[str]:
+        run = self.sorted_values.get(attribute)
+        return run.ordered() if run is not None else []
+
+    def names_in_value_range(
+        self,
+        attribute: str,
+        low: Optional[str],
+        high: Optional[str],
+        incl_low: bool,
+        incl_high: bool,
+        limit: Optional[int] = None,
+    ) -> Optional[Set[str]]:
+        """Union of the posting runs for every indexed value of
+        ``attribute`` inside the lexicographic range — or ``None`` when
+        the range spans more than ``limit`` distinct values *or* the
+        accumulated union exceeds ``limit`` names (a low-cardinality
+        attribute can cover most of the domain in a handful of values;
+        the bailout is about candidate-walk cost, which is names, not
+        values)."""
+        values = self.by_attr.get(attribute)
+        if not values:
+            return set()
+        ordered = self.ordered_values(attribute)
+        start, stop = _range_slice(ordered, low, high, incl_low, incl_high)
+        if limit is not None and stop - start > limit:
+            return None
+        string = self.strings.string
+        out: Set[str] = set()
+        for value in ordered[start:stop]:
+            run = values.get(value)
+            if run:
+                out.update(string(ident) for ident in run)
+                if limit is not None and len(out) > limit:
+                    return None
+        return out
+
+    def memory_bytes(self) -> int:
+        """Index footprint: container overhead, the posting arrays, the
+        boxed id ints, one count of each distinct string (name strings
+        via the sorted run, attribute/value strings via their dict
+        keys), the pending-unindex tuples, and the selectivity stats
+        with their inner dicts."""
+        total = self.strings.memory_bytes()
+        total += self.names.memory_bytes(count_strings=True)
+        total += sys.getsizeof(self.by_attr)
+        for attribute, values in self.by_attr.items():
+            total += sys.getsizeof(attribute) + sys.getsizeof(values)
+            for value, run in values.items():
+                total += sys.getsizeof(value) + sys.getsizeof(run)
+                total += run.memory_bytes()
+        total += sys.getsizeof(self.sorted_values)
+        for run in self.sorted_values.values():
+            total += sys.getsizeof(run) + run.memory_bytes()
+        total += _pending_unindex_bytes(self.pending_unindex)
+        total += _stats_bytes(self.attr_postings, self.set_size_hist)
+        return total
+
+
+class _LegacyDomainState(_DomainStateBase):
+    """The dict-of-sets/``bisect.insort`` substrate the array store
+    replaced — kept runnable (``index_store="legacy"``) as the
+    byte-identity baseline for the equivalence battery and the memory
+    comparison the scaling sweep charts.  O(n) list shifts per
+    first-sighting insert; hash-set slots per posting."""
+
+    __slots__ = ("names", "by_attr", "sorted_values")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Every item name ever written, kept sorted incrementally
+        #: (``bisect.insort`` on first insert).
+        self.names: List[str] = []
+        #: attribute -> value -> set of item names that ever held it.
+        self.by_attr: Dict[str, Dict[str, Set[str]]] = {}
+        #: attribute -> its distinct values in sorted order
+        #: (``bisect.insort`` on first sighting).
+        self.sorted_values: Dict[str, List[str]] = {}
+
+    def add_name(self, name: str) -> None:
+        bisect.insort(self.names, name)
+
+    def note_pairs(self, name: str, pairs: Sequence[Tuple[str, str]]) -> None:
+        for attribute, value in pairs:
+            values = self.by_attr.setdefault(attribute, {})
+            if value not in values:
+                values[value] = set()
+                bisect.insort(
+                    self.sorted_values.setdefault(attribute, []), value
+                )
+            names = values[value]
+            if name not in names:
+                before = len(names)
+                names.add(name)
+                self._note_posting_added(attribute)
+                self._note_set_resize(attribute, before, before + 1)
+            # A re-put beats any queued removal: the pair is live again.
+            self.pending_unindex.pop((attribute, value, name), None)
 
     def prune_unindexed(self, now: float) -> int:
         """Apply every queued removal whose delete is fully visible at
@@ -485,9 +1084,7 @@ class _DomainState:
             if name in names:
                 before = len(names)
                 names.discard(name)
-                self.attr_postings[attribute] = max(
-                    0, self.attr_postings.get(attribute, 0) - 1
-                )
+                self._note_posting_removed(attribute)
                 self._note_set_resize(attribute, before, before - 1)
             if not names:
                 del values[value]
@@ -495,7 +1092,13 @@ class _DomainState:
                 index = bisect.bisect_left(ordered, value)
                 if index < len(ordered) and ordered[index] == value:
                     ordered.pop(index)
+                if not values:
+                    del self.by_attr[attribute]
+                    self.sorted_values.pop(attribute, None)
         return len(fired)
+
+    def ordered_names(self) -> List[str]:
+        return self.names
 
     def names_with(self, attribute: str, value: str) -> Set[str]:
         values = self.by_attr.get(attribute)
@@ -503,59 +1106,17 @@ class _DomainState:
             return set()
         return values.get(value, set())
 
-    def names_with_prefix(self, prefix: str) -> List[str]:
-        start = bisect.bisect_left(self.names, prefix)
-        out: List[str] = []
-        for index in range(start, len(self.names)):
-            name = self.names[index]
-            if not name.startswith(prefix):
-                break
-            out.append(name)
-        return out
+    def count_with(self, attribute: str, value: str) -> int:
+        values = self.by_attr.get(attribute)
+        if not values:
+            return 0
+        return len(values.get(value, ()))
 
-    @staticmethod
-    def _range_slice(
-        ordered: List[str],
-        low: Optional[str],
-        high: Optional[str],
-        incl_low: bool,
-        incl_high: bool,
-    ) -> Tuple[int, int]:
-        """Binary-searched ``[start, stop)`` indices of a lexicographic
-        range over a sorted list (``None`` bound = unbounded)."""
-        start = 0
-        if low is not None:
-            start = (
-                bisect.bisect_left(ordered, low)
-                if incl_low
-                else bisect.bisect_right(ordered, low)
-            )
-        stop = len(ordered)
-        if high is not None:
-            stop = (
-                bisect.bisect_right(ordered, high)
-                if incl_high
-                else bisect.bisect_left(ordered, high)
-            )
-        return start, max(start, stop)
+    def distinct_value_count(self, attribute: str) -> int:
+        return len(self.by_attr.get(attribute, {}))
 
-    def names_in_name_range(
-        self,
-        low: Optional[str],
-        high: Optional[str],
-        incl_low: bool,
-        incl_high: bool,
-        limit: Optional[int] = None,
-    ) -> Optional[List[str]]:
-        """Item names inside a lexicographic ``itemName()`` range, read
-        off the sorted name order — or ``None`` when the range spans
-        more than ``limit`` names (the planner's wide-range bailout: a
-        candidate walk over most of the domain is no faster than the
-        scan it replaces)."""
-        start, stop = self._range_slice(self.names, low, high, incl_low, incl_high)
-        if limit is not None and stop - start > limit:
-            return None
-        return self.names[start:stop]
+    def ordered_values(self, attribute: str) -> List[str]:
+        return self.sorted_values.get(attribute, [])
 
     def names_in_value_range(
         self,
@@ -566,18 +1127,11 @@ class _DomainState:
         incl_high: bool,
         limit: Optional[int] = None,
     ) -> Optional[Set[str]]:
-        """Union of the hash-index name sets for every indexed value of
-        ``attribute`` inside the lexicographic range — or ``None`` when
-        the range spans more than ``limit`` distinct values *or* the
-        accumulated union exceeds ``limit`` names (a low-cardinality
-        attribute can cover most of the domain in a handful of values;
-        the bailout is about candidate-walk cost, which is names, not
-        values)."""
         values = self.by_attr.get(attribute)
         if not values:
             return set()
         ordered = self.sorted_values.get(attribute, [])
-        start, stop = self._range_slice(ordered, low, high, incl_low, incl_high)
+        start, stop = _range_slice(ordered, low, high, incl_low, incl_high)
         if limit is not None and stop - start > limit:
             return None
         out: Set[str] = set()
@@ -588,6 +1142,67 @@ class _DomainState:
                 if limit is not None and len(out) > limit:
                     return None
         return out
+
+    def memory_bytes(self) -> int:
+        """Index footprint of the legacy structures, with the same
+        accounting contract as the array store: container overhead
+        (set/list sizes include their pointer tables), one count of
+        each distinct string, pending-unindex tuples, and the
+        selectivity stats with their inner dicts."""
+        total = sys.getsizeof(self.names)
+        total += sum(sys.getsizeof(name) for name in self.names)
+        total += sys.getsizeof(self.by_attr)
+        for attribute, values in self.by_attr.items():
+            total += sys.getsizeof(attribute) + sys.getsizeof(values)
+            for value, names in values.items():
+                total += sys.getsizeof(value) + sys.getsizeof(names)
+        total += sys.getsizeof(self.sorted_values)
+        total += sum(
+            sys.getsizeof(ordered)
+            for ordered in self.sorted_values.values()
+        )
+        total += _pending_unindex_bytes(self.pending_unindex)
+        total += _stats_bytes(self.attr_postings, self.set_size_hist)
+        return total
+
+
+def _pending_unindex_bytes(pending: Dict[Tuple[str, str, str], float]) -> int:
+    """The pending-unindex dict plus its tuple keys and float values —
+    the part the old gauge skipped (it priced only the outer dict)."""
+    total = sys.getsizeof(pending)
+    for key, at in pending.items():
+        total += sys.getsizeof(key) + sys.getsizeof(at)
+    return total
+
+
+def _stats_bytes(
+    postings: Dict[str, int], hist: Dict[str, Dict[int, int]]
+) -> int:
+    """Selectivity-stat footprint including the per-attribute inner
+    histogram dicts and boxed counts the old gauge undercounted."""
+    total = sys.getsizeof(postings)
+    total += sum(sys.getsizeof(count) for count in postings.values())
+    total += sys.getsizeof(hist)
+    for inner in hist.values():
+        total += sys.getsizeof(inner)
+        total += sum(
+            sys.getsizeof(bucket) + sys.getsizeof(count)
+            for bucket, count in inner.items()
+        )
+    return total
+
+
+#: Default store alias (backends subclassing the service type-annotate
+#: against it).
+_DomainState = _ArrayDomainState
+
+#: ``index_store=`` names accepted by :class:`SimpleDBService`.
+INDEX_STORE_NAMES = ("array", "legacy")
+
+_INDEX_STORES = {
+    "array": _ArrayDomainState,
+    "legacy": _LegacyDomainState,
+}
 
 
 def _range_plan_limit(state: "_DomainState") -> int:
@@ -728,41 +1343,35 @@ def _estimate_candidates(
     if condition.op == "=":
         if attribute == "itemName()":
             return 1
-        return len(state.names_with(attribute, condition.values[0]))
+        return state.count_with(attribute, condition.values[0])
     if condition.op == "in":
         if attribute == "itemName()":
             return len(condition.values)
         return sum(
-            len(state.names_with(attribute, value))
+            state.count_with(attribute, value)
             for value in condition.values
         )
     if condition.op == "like" and attribute == "itemName()":
         prefix = condition.like_prefix()
         if prefix is None:
             return None
-        start = bisect.bisect_left(state.names, prefix)
-        stop = bisect.bisect_right(state.names, prefix + "\U0010ffff")
-        return max(0, stop - start)
+        return state.count_names_with_prefix(prefix)
     if condition.op in _RANGE_BOUNDS:
         low, high, incl_low, incl_high = _RANGE_BOUNDS[condition.op](
             condition.values
         )
         if attribute == "itemName()":
-            start, stop = _DomainState._range_slice(
-                state.names, low, high, incl_low, incl_high
-            )
-            return stop - start
-        ordered = state.sorted_values.get(attribute)
-        if not ordered:
+            return state.count_names_in_range(low, high, incl_low, incl_high)
+        distinct = state.distinct_value_count(attribute)
+        if not distinct:
             return 0
-        start, stop = _DomainState._range_slice(
-            ordered, low, high, incl_low, incl_high
+        in_range = state.count_values_in_range(
+            attribute, low, high, incl_low, incl_high
         )
-        in_range = stop - start
         if in_range <= 0:
             return 0
         postings = state.attr_postings.get(attribute, 0)
-        mean = postings / len(ordered)
+        mean = postings / distinct
         return max(in_range, int(in_range * mean))
     return None
 
@@ -1034,12 +1643,24 @@ class SimpleDBService:
         consistency: Optional[ConsistencyEngine] = None,
         use_indexes: bool = True,
         telemetry=None,
+        index_store: str = "array",
     ):
         self._scheduler = scheduler
         self._profile = profile
         self._billing = billing
         self._consistency = consistency or ConsistencyEngine()
-        self._domains: Dict[str, _DomainState] = {}
+        if index_store not in _INDEX_STORES:
+            raise ValueError(
+                f"unknown index_store {index_store!r} "
+                f"(use one of {INDEX_STORE_NAMES})"
+            )
+        #: Which per-domain index substrate new domains get: ``"array"``
+        #: (the default — string-id posting arrays, two-tier sorted
+        #: runs) or ``"legacy"`` (the dict-of-sets baseline).  Both
+        #: answer byte-identically; the knob exists for the equivalence
+        #: battery and the memory-comparison sweeps.
+        self.index_store = index_store
+        self._domains: Dict[str, _DomainStateBase] = {}
         #: When false the planner is bypassed and every select chain
         #: scans — the regression baseline.  Indexes are maintained
         #: either way, so the flag can be toggled mid-run.
@@ -1081,11 +1702,16 @@ class SimpleDBService:
     def profile(self) -> ServiceProfile:
         return self._profile
 
+    def _new_domain_state(self) -> _DomainStateBase:
+        """A fresh per-domain state of the configured store kind."""
+        return _INDEX_STORES[self.index_store]()
+
     def create_domain(self, domain: str) -> None:
         """Create a domain (idempotent, free)."""
-        self._domains.setdefault(domain, _DomainState())
+        if domain not in self._domains:
+            self._domains[domain] = self._new_domain_state()
 
-    def _domain(self, domain: str) -> _DomainState:
+    def _domain(self, domain: str) -> _DomainStateBase:
         try:
             return self._domains[domain]
         except KeyError:
@@ -1489,7 +2115,7 @@ class SimpleDBService:
         elif count_stats:
             self.select_stats.scanned += 1
         names: Sequence[str] = (
-            state.names if candidates is None else sorted(candidates)
+            state.ordered_names() if candidates is None else sorted(candidates)
         )
         matches: List[Tuple[str, ItemAttributes]] = []
         for name in names:
@@ -1644,35 +2270,22 @@ class SimpleDBService:
             return AttributeSelectivity(attribute, 0, 0, {})
         return AttributeSelectivity(
             attribute=attribute,
-            distinct_values=len(state.by_attr.get(attribute, {})),
+            distinct_values=state.distinct_value_count(attribute),
             postings=state.attr_postings.get(attribute, 0),
             set_size_histogram=dict(state.set_size_hist.get(attribute, {})),
         )
 
     def index_memory_bytes(self) -> int:
         """Approximate heap footprint of the secondary indexes across
-        all domains (container overhead plus one count of each distinct
-        string — interning makes the index share string objects with
-        the registry).  Feeds the ``sdb.index.memory_bytes`` gauge, so
-        benchmarks can chart bytes-per-item beside wall clock."""
-        total = 0
-        for state in self._domains.values():
-            total += sys.getsizeof(state.names)
-            total += sum(sys.getsizeof(name) for name in state.names)
-            total += sys.getsizeof(state.by_attr)
-            for attribute, values in state.by_attr.items():
-                total += sys.getsizeof(attribute) + sys.getsizeof(values)
-                for value, names in values.items():
-                    total += sys.getsizeof(value) + sys.getsizeof(names)
-            total += sys.getsizeof(state.sorted_values)
-            total += sum(
-                sys.getsizeof(ordered)
-                for ordered in state.sorted_values.values()
-            )
-            total += sys.getsizeof(state.pending_unindex)
-            total += sys.getsizeof(state.attr_postings)
-            total += sys.getsizeof(state.set_size_hist)
-        return total
+        all domains (container overhead, posting arrays, one count of
+        each distinct string — interning makes the index share string
+        objects with the registry — plus the pending-unindex queue and
+        the selectivity statistics, inner containers included).  Feeds
+        the ``sdb.index.memory_bytes`` gauge, so benchmarks can chart
+        bytes-per-item beside wall clock."""
+        return sum(
+            state.memory_bytes() for state in self._domains.values()
+        )
 
     # -- omniscient inspection (tests & property checkers only) -----------------
 
@@ -1716,4 +2329,4 @@ class SimpleDBService:
         state = self._domains.get(domain)
         if state is None:
             return []
-        return list(state.sorted_values.get(attribute, []))
+        return list(state.ordered_values(attribute))

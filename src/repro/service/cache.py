@@ -54,9 +54,18 @@ class LRUCache:
         return self._generation
 
     def note_write(self) -> None:
-        """Invalidate everything: subsequent lookups key a new generation."""
+        """Invalidate everything: subsequent lookups key a new generation.
+
+        The old-generation entries are dropped eagerly — ``get``/``put``
+        only ever touch the current generation, so after the bump every
+        stored entry is unreachable.  Leaving them in place (the old
+        behaviour) stranded up to ``capacity`` dead entries that inflated
+        the ``cache.size`` gauge, held their answer objects alive, and
+        burned ``capacity`` spurious LRU evictions (miscounted in
+        ``stats.evictions``) before live entries filled the map again."""
         self._generation += 1
         self.stats.invalidations += 1
+        self._entries.clear()
 
     def bind_metrics(self, registry, **labels) -> None:
         """Expose the hit/miss counters as callback gauges on a

@@ -161,6 +161,54 @@ class TestLRUCache:
         assert cache.get("k") is None
         assert cache.stats.invalidations == 1
 
+    def test_generation_bump_drops_stale_entries(self):
+        # A generation bump makes every stored entry unreachable, so it
+        # must also leave the map: dead entries inflated the size gauge
+        # and pinned their answer objects.
+        cache = LRUCache(capacity=8)
+        for index in range(8):
+            cache.put(f"k{index}", index)
+        assert len(cache) == 8
+        cache.note_write()
+        assert len(cache) == 0
+        cache.put("fresh", "v")
+        assert len(cache) == 1
+        assert cache.get("fresh") == "v"
+
+    def test_no_spurious_evictions_after_write(self):
+        # Refilling a full cache after a write must not evict anything:
+        # the old generation's entries are gone, so the new generation's
+        # working set has the whole capacity to itself.  Before the fix,
+        # stranded dead entries burned `capacity` evictions per bump.
+        cache = LRUCache(capacity=4)
+        for index in range(4):
+            cache.put(f"k{index}", index)
+        cache.note_write()
+        for index in range(4):
+            cache.put(f"k{index}", index)
+        assert cache.stats.evictions == 0
+        assert len(cache) == 4
+
+    def test_write_heavy_interleaving_keeps_hit_rate(self):
+        # Read-repeat-write cycles: each cycle misses once per key and
+        # then hits; generation bumps never cost extra misses beyond the
+        # cold reload, so the hit rate stays at the workload's ceiling.
+        cache = LRUCache(capacity=8)
+        keys = [f"q{index}" for index in range(4)]
+        for _ in range(10):
+            for key in keys:
+                if cache.get(key) is None:
+                    cache.put(key, key.upper())
+            for key in keys:
+                assert cache.get(key) == key.upper()
+            cache.note_write()
+        # Per cycle: 4 cold misses + 4 warm hits from the reload loop's
+        # second pass -> exactly half the lookups hit, every cycle.
+        assert cache.stats.misses == 40
+        assert cache.stats.hits == 40
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.evictions == 0
+
 
 class TestCachedQueryEngine:
     def _populated_gateway(self):
